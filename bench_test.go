@@ -1,0 +1,169 @@
+// Package cloudfog's benchmark harness regenerates every table and figure
+// of the paper's evaluation (§4). Each benchmark runs the corresponding
+// experiment at quick scale and prints the figure's series — the same rows
+// the paper plots — once per benchmark.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale runs are available through the CLI:
+//
+//	go run ./cmd/cloudfogsim -exp all -scale full
+package cloudfog
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"cloudfog/internal/experiments"
+)
+
+var benchOpts = experiments.Options{Scale: experiments.ScaleQuick, Seed: 1}
+
+// printed ensures each figure is rendered once per `go test -bench` process.
+var printed = map[string]bool{}
+
+func render(figs ...*experiments.Figure) {
+	for _, fig := range figs {
+		if fig == nil || printed[fig.ID] {
+			continue
+		}
+		printed[fig.ID] = true
+		fig.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func benchFigure(b *testing.B, f func(experiments.Options) (*experiments.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := f(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			render(fig)
+		}
+	}
+}
+
+// BenchmarkTable2QualityLadder regenerates Table 2 (the video quality
+// ladder).
+func BenchmarkTable2QualityLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Table2()
+		if i == 0 {
+			render(fig)
+		}
+	}
+}
+
+// BenchmarkFig4aCoverageDatacenters regenerates Fig. 4(a): user coverage vs
+// number of datacenters (PeerSim).
+func BenchmarkFig4aCoverageDatacenters(b *testing.B) { benchFigure(b, experiments.Fig4a) }
+
+// BenchmarkFig4bCoverageSupernodes regenerates Fig. 4(b): user coverage vs
+// number of supernodes (PeerSim).
+func BenchmarkFig4bCoverageSupernodes(b *testing.B) { benchFigure(b, experiments.Fig4b) }
+
+// BenchmarkFig5aCoverageDatacentersPL regenerates Fig. 5(a) on the
+// PlanetLab profile.
+func BenchmarkFig5aCoverageDatacentersPL(b *testing.B) { benchFigure(b, experiments.Fig5a) }
+
+// BenchmarkFig5bCoverageSupernodesPL regenerates Fig. 5(b) on the PlanetLab
+// profile.
+func BenchmarkFig5bCoverageSupernodesPL(b *testing.B) { benchFigure(b, experiments.Fig5b) }
+
+// BenchmarkFig6to8SystemComparison regenerates Figs. 6, 7, and 8 in one
+// sweep: cloud bandwidth, response latency, and playback continuity vs
+// concurrent players for Cloud, the CDN variants, CloudFog/B and
+// CloudFog/A.
+func BenchmarkFig6to8SystemComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bw, lat, cont, err := experiments.SystemComparison(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			render(bw, lat, cont)
+		}
+	}
+}
+
+// BenchmarkFig9aSetupLatency regenerates Fig. 9(a): setup and join
+// latencies vs players.
+func BenchmarkFig9aSetupLatency(b *testing.B) { benchFigure(b, experiments.Fig9a) }
+
+// BenchmarkFig9bSetupLatencyPL regenerates Fig. 9(b): setup latencies vs
+// supernodes on the PlanetLab profile.
+func BenchmarkFig9bSetupLatencyPL(b *testing.B) { benchFigure(b, experiments.Fig9b) }
+
+// BenchmarkFig10Reputation regenerates Fig. 10: satisfied players with and
+// without reputation-based supernode selection.
+func BenchmarkFig10Reputation(b *testing.B) { benchFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11Adaptation regenerates Fig. 11: satisfied players with and
+// without receiver-driven encoding rate adaptation.
+func BenchmarkFig11Adaptation(b *testing.B) { benchFigure(b, experiments.Fig11) }
+
+// BenchmarkFig12SocialAssignment regenerates Fig. 12: the response-latency
+// decomposition with and without social-network-based server assignment.
+func BenchmarkFig12SocialAssignment(b *testing.B) { benchFigure(b, experiments.Fig12) }
+
+// BenchmarkFig13to15Provisioning regenerates Figs. 13–15: cloud bandwidth,
+// response latency, and continuity vs peak arrival rate with and without
+// dynamic supernode provisioning.
+func BenchmarkFig13to15Provisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bw, lat, cont, err := experiments.ProvisioningComparison(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			render(bw, lat, cont)
+		}
+	}
+}
+
+// BenchmarkFig16aSupernodeEconomics regenerates Fig. 16(a): contributor
+// rewards, costs, and profits.
+func BenchmarkFig16aSupernodeEconomics(b *testing.B) { benchFigure(b, experiments.Fig16a) }
+
+// BenchmarkFig16bProviderSavings regenerates Fig. 16(b): EC2 renting fees
+// vs supernode rewards vs provider savings.
+func BenchmarkFig16bProviderSavings(b *testing.B) { benchFigure(b, experiments.Fig16b) }
+
+// --- Design-choice ablations (DESIGN.md §6) ------------------------------
+
+// BenchmarkAblationGlobalVsLocalReputation compares per-player reputation
+// against no reputation under load.
+func BenchmarkAblationGlobalVsLocalReputation(b *testing.B) {
+	benchFigure(b, experiments.AblationReputationScope)
+}
+
+// BenchmarkAblationAdaptationDebounce sweeps the consecutive-estimate
+// debounce of the rate controller.
+func BenchmarkAblationAdaptationDebounce(b *testing.B) {
+	benchFigure(b, experiments.AblationAdaptationDebounce)
+}
+
+// BenchmarkAblationProvisioningSelection compares Eq. 16's rank-probability
+// supernode selection against plain top-k.
+func BenchmarkAblationProvisioningSelection(b *testing.B) {
+	benchFigure(b, experiments.AblationProvisioningSelection)
+}
+
+// BenchmarkAblationAssignmentRefinement compares the greedy, swap-refined,
+// and polished server-assignment pipelines.
+func BenchmarkAblationAssignmentRefinement(b *testing.B) {
+	benchFigure(b, experiments.AblationAssignmentRefinement)
+}
+
+// BenchmarkExtensionOptimalDeployment runs the Eq. 3 fleet-size
+// optimization over the measured coverage curve (the paper's §5
+// future-work question).
+func BenchmarkExtensionOptimalDeployment(b *testing.B) {
+	benchFigure(b, experiments.ExtensionOptimalDeployment)
+}

@@ -1,0 +1,65 @@
+// Command cloudsrv runs the CloudFog cloud tier: the authoritative virtual
+// world. It admits players, collects their inputs, ticks the world, and
+// streams compact update batches to registered supernodes (fogsrv).
+//
+//	cloudsrv -addr 127.0.0.1:7000 -npcs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudfog/internal/fognet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
+	tick := flag.Duration("tick", fognet.DefaultTickInterval, "world tick interval")
+	npcs := flag.Int("npcs", 8, "NPCs to seed the world with")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	flag.Parse()
+
+	if err := run(*addr, *tick, *npcs, *statsEvery); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, tick time.Duration, npcs int, statsEvery time.Duration) error {
+	cloud, err := fognet.NewCloudServer(fognet.CloudConfig{
+		Addr:         addr,
+		TickInterval: tick,
+		NPCs:         npcs,
+	})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	fmt.Printf("cloudsrv: listening on %s (tick %v, %d NPCs)\n", cloud.Addr(), tick, npcs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tickCh <-chan time.Time
+	if statsEvery > 0 {
+		ticker = time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("cloudsrv: shutting down")
+			return nil
+		case <-tickCh:
+			s := cloud.Stats()
+			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit\n",
+				s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000)
+		}
+	}
+}

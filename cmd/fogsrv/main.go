@@ -1,0 +1,70 @@
+// Command fogsrv runs one CloudFog supernode: it registers with the cloud,
+// replicates the virtual world from the update stream, and renders and
+// streams per-player game video on its stream address.
+//
+//	fogsrv -cloud 127.0.0.1:7000 -addr 127.0.0.1:7100 -capacity 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudfog/internal/fognet"
+)
+
+func main() {
+	name := flag.String("name", "fog", "supernode name")
+	cloudAddr := flag.String("cloud", "127.0.0.1:7000", "cloud server address")
+	addr := flag.String("addr", "127.0.0.1:0", "stream listen address")
+	capacity := flag.Int("capacity", 8, "max concurrent players")
+	frame := flag.Duration("frame", fognet.DefaultFrameInterval, "video frame interval")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	flag.Parse()
+
+	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *statsEvery); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(name, cloudAddr, addr string, capacity int, frame, statsEvery time.Duration) error {
+	fog, err := fognet.NewFogNode(fognet.FogConfig{
+		Name:          name,
+		CloudAddr:     cloudAddr,
+		StreamAddr:    addr,
+		Capacity:      capacity,
+		FrameInterval: frame,
+	})
+	if err != nil {
+		return err
+	}
+	defer fog.Close()
+	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d)\n",
+		name, fog.ID(), fog.StreamAddr(), capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var tickCh <-chan time.Time
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("fogsrv: shutting down")
+			return nil
+		case <-tickCh:
+			s := fog.Stats()
+			fmt.Printf("fogsrv %q: tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d\n",
+				name, s.ReplicaTick, s.Attached, s.Frames,
+				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command playercli runs a CloudFog thin client: it joins the game through
+// the cloud, attaches to a supernode for video, streams synthetic inputs,
+// and reports the received stream's statistics.
+//
+//	playercli -cloud 127.0.0.1:7000 -id 1 -game 3 -adapt -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudfog/internal/fognet"
+	"cloudfog/internal/game"
+)
+
+func main() {
+	id := flag.Int("id", 1, "player ID")
+	cloudAddr := flag.String("cloud", "127.0.0.1:7000", "cloud server address")
+	gameID := flag.Int("game", 3, "game ID from the Table 2 catalog (1-5)")
+	adapt := flag.Bool("adapt", false, "enable receiver-driven rate adaptation")
+	duration := flag.Duration("duration", 30*time.Second, "how long to play (0 = until interrupted)")
+	seed := flag.Uint64("seed", 1, "input generator seed")
+	flag.Parse()
+
+	if err := run(*id, *cloudAddr, *gameID, *adapt, *duration, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(id int, cloudAddr string, gameID int, adapt bool, duration time.Duration, seed uint64) error {
+	catalog := game.Catalog()
+	if gameID < 1 || gameID > len(catalog) {
+		return fmt.Errorf("game ID %d out of range 1..%d", gameID, len(catalog))
+	}
+	g := catalog[gameID-1]
+	player, err := fognet.NewPlayerClient(fognet.PlayerConfig{
+		PlayerID:  int32(id),
+		CloudAddr: cloudAddr,
+		Game:      g,
+		Adapt:     adapt,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer player.Close()
+	fmt.Printf("playercli %d: playing %q (L%d, %.0f kbps, adapt=%v)\n",
+		id, g.Name, g.DefaultQuality, g.Quality().BitrateKbps, adapt)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	start := time.Now()
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+		case <-deadline:
+		case <-ticker.C:
+			printStats(player, start)
+			continue
+		}
+		printStats(player, start)
+		fmt.Println("playercli: leaving")
+		return nil
+	}
+}
+
+func printStats(player *fognet.PlayerClient, start time.Time) {
+	s := player.Stats()
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("playercli: %5.1fs frames=%d (%.1f fps) video=%.0f kbps L%d switches=%d errors=%d tick=%d\n",
+		elapsed, s.Frames, float64(s.Frames)/elapsed,
+		float64(s.VideoBits)/elapsed/1000, s.Level, s.RateSwitches, s.DecodeErrors, s.LastTick)
+}

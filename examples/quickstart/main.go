@@ -1,0 +1,65 @@
+// Quickstart: build a small CloudFog deployment, run one simulated week,
+// and print the QoS a player population experiences — alongside the plain
+// cloud-gaming baseline so the fog's effect is visible.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudfog/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Start from the paper's PeerSim profile, shrunk to laptop size.
+	cfg := core.PeerSim()
+	cfg.Players = 1000
+	cfg.Supernodes = 60
+	cfg.SupernodeCandidates = 100
+	cfg.Seed = 42
+
+	fmt.Println("CloudFog quickstart: 1,000 players, 60 supernodes, 5 datacenters")
+	fmt.Println()
+
+	for _, variant := range []struct {
+		name       string
+		mode       core.Mode
+		strategies core.Strategies
+	}{
+		{"Cloud (baseline)", core.ModeCloud, core.Strategies{}},
+		{"CloudFog/B (fog only)", core.ModeCloudFog, core.Strategies{}},
+		{"CloudFog/A (all strategies)", core.ModeCloudFog, core.AllStrategies()},
+	} {
+		c := cfg
+		c.Mode = variant.mode
+		c.Strategies = variant.strategies
+		sys, err := core.NewSystem(c)
+		if err != nil {
+			return fmt.Errorf("build %s: %w", variant.name, err)
+		}
+		// One simulated week: 7 cycles, 3 warm-up.
+		snap := sys.Run(7, 3).Snapshot()
+		fmt.Printf("%-28s response latency %6.1f ms | continuity %.3f | satisfied %4.1f%% | cloud egress %7.1f Mbps\n",
+			variant.name,
+			snap.MeanResponseLatencyMs,
+			snap.MeanContinuity,
+			100*snap.SatisfiedFraction,
+			snap.MeanCloudEgressMbps,
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("The fog cuts the cloud's bandwidth bill by an order of magnitude and")
+	fmt.Println("shortens the response path; the QoS strategies add the rest.")
+	return nil
+}

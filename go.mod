@@ -1,0 +1,3 @@
+module cloudfog
+
+go 1.22

@@ -1,0 +1,32 @@
+package assignment
+
+import (
+	"testing"
+
+	"cloudfog/internal/rng"
+	"cloudfog/internal/social"
+)
+
+// BenchmarkAssign measures the full server-assignment pipeline (greedy +
+// swap refinement + polish) over a 5,000-player guild graph — the weekly
+// reassignment cost of §3.4.
+func BenchmarkAssign(b *testing.B) {
+	g := social.Generate(social.GenerateConfig{N: 5000, Skew: 1.5}, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assign(g, Config{Servers: 50}, rng.New(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModularity measures one Γ evaluation, the inner loop of the
+// swap refinement.
+func BenchmarkModularity(b *testing.B) {
+	g := social.Generate(social.GenerateConfig{N: 5000, Skew: 1.5}, rng.New(1))
+	community := Random(5000, 50, rng.New(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		social.Modularity(g, community, 50)
+	}
+}

@@ -1,0 +1,784 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"cloudfog/internal/adaptation"
+	"cloudfog/internal/assignment"
+	"cloudfog/internal/cloudinfra"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/provisioning"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/sim"
+	"cloudfog/internal/streaming"
+	"cloudfog/internal/workload"
+)
+
+// Simulation tuning constants.
+const (
+	// adaptationStepsPerSubcycle is how many controller observations run
+	// per hourly subcycle; the controller settles to its quasi-steady
+	// quality level within a few steps.
+	adaptationStepsPerSubcycle = 8
+	// adaptationStepSec is the simulated spacing of controller steps.
+	adaptationStepSec = 5.0
+	// wideAreaFullPenaltyKm is the path length at which the full
+	// WideAreaBWPenalty applies.
+	wideAreaFullPenaltyKm = 3000.0
+	// supernodeRegistrationMs is the cloud-side processing time of a
+	// supernode registration, on top of the network round trips.
+	supernodeRegistrationMs = 50.0
+	// lMaxFactor converts a game's response-latency requirement into the
+	// player's supernode transmission-delay threshold L_max (§3.2.1).
+	lMaxFactor = 0.5
+)
+
+// Run executes the paper's experimental protocol: `cycles` daily cycles of
+// 24 subcycles, with the first `warmupCycles` excluded from measurement.
+// Zero arguments select the paper's defaults (28 cycles, 21 warm-up).
+// Run can be called once per System.
+func (s *System) Run(cycles, warmupCycles int) *Metrics {
+	engine := sim.Engine{Cycles: cycles, WarmupCycles: warmupCycles}
+	s.forecaster = s.newForecaster()
+	s.initArrivalPool()
+	engine.Run(sim.Hooks{
+		BeginCycle: s.beginCycle,
+		Subcycle:   s.stepSubcycle,
+		EndCycle:   s.endCycle,
+	})
+	s.finalize(cycles)
+	return &s.metrics
+}
+
+// Metrics returns the metrics collected so far.
+func (s *System) Metrics() *Metrics { return &s.metrics }
+
+func (s *System) newForecaster() *provisioning.Forecaster {
+	windows := 24 * 7 / s.cfg.ProvisionWindowHours
+	f, err := provisioning.NewForecaster(windows, 0.3, 0.5)
+	if err != nil {
+		// Window hours are validated in normalize; this cannot happen.
+		panic(err)
+	}
+	return f
+}
+
+func (s *System) initArrivalPool() {
+	if s.cfg.Arrivals == nil {
+		return
+	}
+	s.arrivalPool = s.arrivalPool[:0]
+	for _, p := range s.players {
+		s.arrivalPool = append(s.arrivalPool, p.ID)
+	}
+}
+
+// ---- cycle hooks -------------------------------------------------------
+
+func (s *System) beginCycle(cycle int, measured bool) {
+	r := s.rRun.SplitNamed("cycle")
+	// Supernode willingness: throttled groups throttle with 50%
+	// probability each cycle.
+	if s.fogMgr != nil {
+		for _, sn := range s.fogMgr.All() {
+			meta := s.snMeta[sn.ID]
+			if meta.throttleGroup < 1 && r.Bool(0.5) {
+				sn.Throttle = meta.throttleGroup
+			} else {
+				sn.Throttle = 1
+			}
+		}
+	}
+	// Daily session schedule (population mode only).
+	if s.cfg.Arrivals == nil {
+		for _, p := range s.players {
+			if s.cfg.AlwaysOn {
+				p.session = workload.Session{Start: 1, Duration: workload.SubcyclesPerCycle}
+			} else {
+				p.session = workload.ScheduleDay(p.Behavior, r)
+			}
+		}
+	}
+	// Weekly social-network-based server reassignment.
+	if s.cfg.Strategies.SocialAssignment && cycle%7 == 0 {
+		s.lastAssignCycle = cycle
+		s.runServerAssignment(r)
+	}
+	// Fixed supernode pool for churn baselines.
+	if s.fogMgr != nil && !s.cfg.Strategies.Provisioning && s.cfg.FixedSupernodePool > 0 {
+		s.applyFixedPool(cycle, measured)
+	}
+}
+
+func (s *System) stepSubcycle(clock sim.Clock, measured bool) {
+	r := s.rRun.SplitNamed("sub")
+	// Churn-mode arrivals.
+	if s.cfg.Arrivals != nil {
+		s.spawnArrivals(clock, r)
+	}
+	// Session transitions.
+	for _, p := range s.players {
+		active := p.session.Active(clock.Subcycle)
+		switch {
+		case active && !p.online:
+			s.join(p, clock, measured, r)
+		case !active && p.online:
+			s.leave(p, clock, measured)
+		}
+	}
+	// Dynamic supernode provisioning at window boundaries.
+	if s.fogMgr != nil && s.cfg.Strategies.Provisioning &&
+		(clock.Subcycle-1)%s.cfg.ProvisionWindowHours == 0 {
+		s.provisionStep(clock, measured, r)
+	}
+	// Injected supernode failures (Fig. 9 migration study): the chosen
+	// supernodes drop their players (who migrate) and then rejoin service,
+	// keeping the fleet size stable across injections.
+	if s.fogMgr != nil && s.cfg.FailSupernodesPerCycle > 0 && measured && clock.Subcycle == 12 {
+		for _, id := range s.failSupernodeIDs(s.cfg.FailSupernodesPerCycle, clock) {
+			s.fogMgr.Activate(id)
+		}
+	}
+	// Streaming evaluation.
+	online := 0
+	var cloudEgressKbps float64
+	for _, p := range s.players {
+		if !p.online {
+			continue
+		}
+		online++
+		bitrate := s.evaluatePlayer(p, clock, measured, r)
+		if p.src == srcCloud {
+			cloudEgressKbps += bitrate
+		}
+	}
+	if s.fogMgr != nil {
+		active := s.fogMgr.NumActive()
+		cloudEgressKbps += cloudinfra.UpdateBandwidthKbps(active, s.cfg.UpdateKbps)
+		if measured {
+			s.metrics.ActiveSupernodes.Add(float64(active))
+		}
+		// Track per-slot supernode load for provisioning ranking.
+		for _, sn := range s.fogMgr.All() {
+			if meta := s.snMeta[sn.ID]; sn.Load() > meta.supportedThisSlot {
+				meta.supportedThisSlot = sn.Load()
+			}
+		}
+	}
+	if measured {
+		s.metrics.CloudEgressMbps.Add(cloudEgressKbps / 1000)
+		s.metrics.OnlinePlayers.Add(float64(online))
+	}
+}
+
+func (s *System) endCycle(cycle int, measured bool) {
+	// AlwaysOn sessions span exactly one day: close them at day end so the
+	// player rates its supernode and re-selects tomorrow, as a daily-play
+	// population would.
+	if s.cfg.AlwaysOn && s.cfg.Arrivals == nil {
+		clock := sim.Clock{Cycle: cycle, Subcycle: workload.SubcyclesPerCycle}
+		for _, p := range s.players {
+			if p.online {
+				s.leave(p, clock, measured)
+			}
+		}
+	}
+	// Reputation pruning bounds memory for long runs.
+	if cycle%7 == 6 {
+		for _, p := range s.players {
+			p.Book.Prune(cycle, 60)
+		}
+	}
+}
+
+// finalize closes any session still open when the simulation ends so its
+// metrics are recorded.
+func (s *System) finalize(cycles int) {
+	if cycles == 0 {
+		cycles = sim.DefaultCycles
+	}
+	clock := sim.Clock{Cycle: cycles - 1, Subcycle: workload.SubcyclesPerCycle}
+	for _, p := range s.players {
+		if p.online {
+			s.leave(p, clock, true)
+		}
+	}
+}
+
+// ---- joins, leaves, migration ------------------------------------------
+
+func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
+	p.online = true
+	p.sessionMeter = streaming.Meter{}
+
+	// Friend-driven game choice, with a 20% independent-taste chance so
+	// the catalog never collapses onto a single title by pure cascade.
+	// The choice draws from a stream keyed by (player, day) so that the
+	// game mix evolves identically across compared systems — otherwise
+	// herding noise would dominate cross-system comparisons.
+	rGame := s.decisionRand("game", p.ID, clock.Cycle, clock.Subcycle)
+	var friendGames []int
+	if !rGame.Bool(0.2) {
+		for _, f := range s.onlineFriends(p) {
+			friendGames = append(friendGames, s.players[f].Game.ID)
+		}
+	}
+	p.Game = workload.ChooseGame(friendGames, s.games, rGame)
+
+	// State-server assignment inside the player's datacenter.
+	s.assignStateServer(p, r)
+
+	// Video source selection.
+	dcEp := s.cloud.Datacenters()[p.dc].Endpoint
+	var joinMs float64
+	switch s.cfg.Mode {
+	case ModeCloudFog:
+		// L_max comes from the game's latency requirement (§3.2.1), and a
+		// supernode is never worth using when the player's own datacenter
+		// path is already faster.
+		lmax := p.Game.LatencyRequirementMs * lMaxFactor
+		if dcOneWay := s.model.OneWayMs(p.Endpoint, dcEp); dcOneWay < lmax {
+			lmax = dcOneWay
+		}
+		sel := s.selector.Select(p.Endpoint, lmax, p.Book, clock.Day(), r)
+		joinMs = sel.TotalMs()
+		if sel.Supernode != nil {
+			p.src = srcSupernode
+			p.supernode = sel.Supernode.ID
+			joinMs += s.model.PathRTTMs(p.Endpoint, sel.Supernode.Endpoint)
+		} else {
+			p.src = srcCloud
+			joinMs += s.model.PathRTTMs(p.Endpoint, dcEp)
+		}
+	case ModeCDN:
+		srv := s.nearestCDNWithCapacity(p.Endpoint.Loc)
+		// Like a supernode, a CDN server only helps a player it can reach
+		// within the game's delay threshold — and only when it beats the
+		// player's own datacenter path; players out of reach stay on the
+		// cloud ("not all users in CDN are able to connect to a nearby
+		// server due to the shortage of servers").
+		if srv != nil &&
+			s.model.PathRTTMs(p.Endpoint, srv.Endpoint)/2 <= p.Game.LatencyRequirementMs*lMaxFactor &&
+			s.model.PathRTTMs(p.Endpoint, srv.Endpoint) <= s.model.PathRTTMs(p.Endpoint, dcEp) {
+			p.src = srcCDN
+			p.cdnServer = srv.Index
+			srv.players[p.ID] = struct{}{}
+			joinMs = s.model.PathRTTMs(p.Endpoint, srv.Endpoint) * 2
+		} else {
+			p.src = srcCloud
+			joinMs = s.model.PathRTTMs(p.Endpoint, dcEp) * 2
+		}
+	default:
+		p.src = srcCloud
+		joinMs = s.model.PathRTTMs(p.Endpoint, dcEp) * 2
+	}
+
+	// Encoding-rate controller: receiver-driven adaptation is a CloudFog
+	// strategy; the baselines stream at the game's fixed default rate.
+	disabled := !(s.cfg.Mode == ModeCloudFog && s.cfg.Strategies.Adaptation)
+	p.controller = adaptation.NewController(adaptation.Config{
+		Theta:    s.cfg.Theta,
+		Rho:      p.Game.ToleranceDegree,
+		MaxLevel: p.Game.DefaultQuality,
+		Disabled: disabled,
+		Debounce: s.cfg.AdaptationDebounce,
+	}, p.Game.DefaultQuality)
+
+	if measured {
+		s.metrics.PlayerJoinMs.Add(joinMs)
+	}
+}
+
+func (s *System) leave(p *Player, clock sim.Clock, measured bool) {
+	if !p.online {
+		return
+	}
+	if p.src == srcSupernode {
+		// Rate the supernode with the session's playback continuity.
+		if p.sessionMeter.Observed() {
+			p.Book.Rate(p.supernode, p.sessionMeter.Continuity(), clock.Day())
+		}
+		s.fogMgr.Disconnect(p.ID, p.supernode)
+	}
+	if p.src == srcCDN {
+		delete(s.cdn[p.cdnServer].players, p.ID)
+	}
+	if measured && p.sessionMeter.Observed() {
+		cont := p.sessionMeter.Continuity()
+		s.metrics.Continuity.Add(cont)
+		if p.src == srcSupernode || p.src == srcCDN {
+			s.metrics.ContinuityFog.Add(cont)
+		} else {
+			s.metrics.ContinuityCloudServed.Add(cont)
+		}
+		if p.Game.ID >= 1 && p.Game.ID < len(s.metrics.ContinuityByGame) {
+			s.metrics.ContinuityByGame[p.Game.ID].Add(cont)
+		}
+		s.metrics.Satisfied.Observe(p.sessionMeter.Satisfied())
+		if p.controller != nil {
+			s.metrics.BitrateSwitches.Add(float64(p.controller.Switches()))
+		}
+	}
+	p.online = false
+	p.src = srcNone
+	p.controller = nil
+	// Churn mode: the player returns to the arrival pool for a future
+	// Poisson arrival.
+	if s.cfg.Arrivals != nil {
+		p.session = workload.Session{}
+		s.arrivalPool = append(s.arrivalPool, p.ID)
+	}
+}
+
+// migrate reconnects a displaced player after its supernode left service:
+// the player probes its candidate list for a new supernode and falls back
+// to the cloud (§3.2.2). The paper measures this as migration latency.
+func (s *System) migrate(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
+	if !p.online {
+		return
+	}
+	if p.sessionMeter.Observed() && p.src == srcSupernode {
+		p.Book.Rate(p.supernode, p.sessionMeter.Continuity(), clock.Day())
+	}
+	lmax := p.Game.LatencyRequirementMs * lMaxFactor
+	dcEp := s.cloud.Datacenters()[p.dc].Endpoint
+	if dcOneWay := s.model.OneWayMs(p.Endpoint, dcEp); dcOneWay < lmax {
+		lmax = dcOneWay
+	}
+	sel := s.selector.Select(p.Endpoint, lmax, p.Book, clock.Day(), r)
+	var migrationMs float64
+	if sel.Supernode != nil {
+		p.src = srcSupernode
+		p.supernode = sel.Supernode.ID
+		// The candidate list is already known; migration pays the delay
+		// tests, capacity probes, and the reconnect round trip. No game
+		// state transfers: the cloud holds it all.
+		migrationMs = sel.PingMs + sel.ProbeMs + s.model.PathRTTMs(p.Endpoint, sel.Supernode.Endpoint)
+	} else {
+		p.src = srcCloud
+		migrationMs = sel.RequestMs + sel.PingMs + sel.ProbeMs + s.model.PathRTTMs(p.Endpoint, dcEp)
+	}
+	if measured {
+		s.metrics.MigrationMs.Add(migrationMs)
+	}
+}
+
+// FailSupernodes deactivates n random active supernodes and migrates their
+// players — the failure-injection used by the Fig. 9 migration study.
+// It returns the number of players that migrated.
+func (s *System) FailSupernodes(n int, clock sim.Clock) int {
+	before := s.metrics.MigrationMs.N()
+	s.failSupernodeIDs(n, clock)
+	return s.metrics.MigrationMs.N() - before
+}
+
+// failSupernodeIDs deactivates n random active supernodes, migrates their
+// players, and returns the failed supernode IDs.
+func (s *System) failSupernodeIDs(n int, clock sim.Clock) []int {
+	if s.fogMgr == nil || n <= 0 {
+		return nil
+	}
+	r := s.rRun.SplitNamed("fail")
+	var active []int
+	for _, sn := range s.fogMgr.All() {
+		if sn.Active {
+			active = append(active, sn.ID)
+		}
+	}
+	r.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+	if n > len(active) {
+		n = len(active)
+	}
+	failed := active[:n]
+	for _, id := range failed {
+		for _, playerID := range s.fogMgr.Deactivate(id) {
+			p := s.playerByEndpointID(playerID)
+			if p != nil && p.online {
+				s.migrate(p, clock, true, r)
+			}
+		}
+	}
+	return failed
+}
+
+// playerByEndpointID maps an endpoint ID back to the player. Player
+// endpoints are allocated first, so endpoint ID == player index.
+func (s *System) playerByEndpointID(id int) *Player {
+	if id < 0 || id >= len(s.players) {
+		return nil
+	}
+	return s.players[id]
+}
+
+func (s *System) spawnArrivals(clock sim.Clock, r *rng.Rand) {
+	n := s.cfg.Arrivals.ArrivalsInSubcycle(clock.Subcycle, r)
+	for i := 0; i < n && len(s.arrivalPool) > 0; i++ {
+		idx := r.Intn(len(s.arrivalPool))
+		id := s.arrivalPool[idx]
+		s.arrivalPool[idx] = s.arrivalPool[len(s.arrivalPool)-1]
+		s.arrivalPool = s.arrivalPool[:len(s.arrivalPool)-1]
+		p := s.players[id]
+		dur := 1 + r.Intn(3)
+		p.session = workload.Session{Start: clock.Subcycle, Duration: dur}
+	}
+}
+
+// ---- state-server assignment --------------------------------------------
+
+func (s *System) assignStateServer(p *Player, r *rng.Rand) {
+	if s.cloud.ServerOf(p.ID) != nil {
+		return // sticky assignment (weekly reassignment may move it)
+	}
+	dc := s.cloud.Datacenters()[p.dc]
+	if s.cfg.Strategies.SocialAssignment {
+		// Join the server hosting most of the player's friends (any
+		// datacenter; game state can live anywhere).
+		counts := make(map[int]int)
+		for _, f := range s.graph.Friends(p.ID) {
+			if srv := s.cloud.ServerOf(f); srv != nil {
+				counts[srv.ID]++
+			}
+		}
+		bestID, bestN := -1, 0
+		for id, n := range counts {
+			if n > bestN || (n == bestN && id < bestID) {
+				bestID, bestN = id, n
+			}
+		}
+		if bestID >= 0 {
+			if err := s.cloud.AssignPlayerToServer(p.ID, bestID); err == nil {
+				return
+			}
+		}
+	}
+	s.cloud.AssignPlayerRandom(p.ID, dc, r)
+}
+
+// runServerAssignment runs the periodic community-based reassignment over
+// the whole player population — "given z servers, this problem turns to
+// finding z network communities" — and records its wall-clock latency (the
+// "server assignment latency" of Fig. 9). A player's game state can live on
+// any server; what matters is that interacting friends share one. The
+// assignment graph combines explicit friendships with the implicit ones
+// inferred from recent co-play (§3.4's two friendship schemes).
+func (s *System) runServerAssignment(r *rng.Rand) {
+	start := time.Now()
+	cycle := s.lastAssignCycle
+	graph := s.coplay.AugmentGraph(s.graph, cycle)
+	s.coplay.Prune(cycle)
+	z := s.cloud.NumServers()
+	res, err := assignment.Assign(graph, assignment.Config{
+		Servers: z,
+		H1:      s.cfg.AssignH1,
+		H2:      s.cfg.AssignH2,
+	}, r)
+	if err != nil {
+		return
+	}
+	for _, p := range s.players {
+		if err := s.cloud.AssignPlayerToServer(p.ID, res.Community[p.ID]%z); err != nil {
+			// Server IDs are 0..z-1 by construction; this cannot fail,
+			// but never silently corrupt assignments.
+			panic(err)
+		}
+	}
+	s.metrics.Modularity.Add(res.Modularity)
+	s.metrics.ServerAssignmentMs.Add(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// ---- provisioning --------------------------------------------------------
+
+func (s *System) avgSupernodeCapacity() float64 {
+	all := s.fogMgr.All()
+	if len(all) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, sn := range all {
+		sum += float64(sn.Capacity)
+	}
+	return sum / float64(len(all))
+}
+
+// fleetUtilization estimates what fraction of active supernode capacity is
+// actually usable, from current loads. Bootstrap value 0.5 before any load
+// is observed.
+func (s *System) fleetUtilization() float64 {
+	var load, capacity float64
+	for _, sn := range s.fogMgr.All() {
+		if sn.Active {
+			load += float64(sn.Load())
+			capacity += float64(sn.Capacity)
+		}
+	}
+	if capacity == 0 || load == 0 {
+		return 0.5
+	}
+	u := load / capacity
+	if u < 0.2 {
+		u = 0.2
+	}
+	return u
+}
+
+func (s *System) provisionStep(clock sim.Clock, measured bool, r *rng.Rand) {
+	online := 0
+	for _, p := range s.players {
+		if p.online {
+			online++
+		}
+	}
+	s.forecaster.Observe(float64(online))
+	pred := s.forecaster.Forecast()
+	// Ĉ in Eq. 15 is the EFFECTIVE average capacity: nominal capacity
+	// discounted by the fleet's observed slot utilization, since locality
+	// mismatches leave part of each supernode's nominal capacity unusable.
+	effCap := s.avgSupernodeCapacity() * s.fleetUtilization()
+	want := provisioning.SupernodeCount(pred, s.cfg.ProvisionEpsilon, effCap)
+	if want < 1 {
+		want = 1
+	}
+	all := s.fogMgr.All()
+	if want > len(all) {
+		want = len(all)
+	}
+	cands := make([]provisioning.Candidate, len(all))
+	for i, sn := range all {
+		cands[i] = provisioning.Candidate{ID: sn.ID, PrevSupported: s.snMeta[sn.ID].prevSupported}
+	}
+	selected := provisioning.Select(cands, want, r)
+	keep := make(map[int]bool, len(selected))
+	for _, c := range selected {
+		keep[c.ID] = true
+	}
+	// Never withdraw a supernode that is actively serving players or was
+	// busy in the previous slot: provisioning trims idle reserve, it does
+	// not evict live sessions.
+	for _, sn := range all {
+		if sn.Active && (sn.Load() > 0 || s.snMeta[sn.ID].prevSupported > 0) {
+			keep[sn.ID] = true
+		}
+	}
+	dcEp := s.cloud.Datacenters()[0].Endpoint
+	for _, sn := range all {
+		switch {
+		case keep[sn.ID] && !sn.Active:
+			s.fogMgr.Activate(sn.ID)
+			if measured {
+				// Registration: connect to the cloud plus processing.
+				s.metrics.SupernodeJoinMs.Add(
+					s.model.PathRTTMs(sn.Endpoint, dcEp)*1.5 + supernodeRegistrationMs)
+			}
+		case !keep[sn.ID] && sn.Active:
+			for _, playerID := range s.fogMgr.Deactivate(sn.ID) {
+				if p := s.playerByEndpointID(playerID); p != nil {
+					s.migrate(p, clock, measured, r)
+				}
+			}
+		}
+		// Roll the load window.
+		meta := s.snMeta[sn.ID]
+		meta.prevSupported = meta.supportedThisSlot
+		meta.supportedThisSlot = 0
+	}
+}
+
+// applyFixedPool keeps exactly FixedSupernodePool supernodes active — the
+// static baseline the churn experiments compare against.
+func (s *System) applyFixedPool(cycle int, measured bool) {
+	want := s.cfg.FixedSupernodePool
+	all := s.fogMgr.All()
+	for i, sn := range all {
+		shouldBeActive := i < want
+		if shouldBeActive && !sn.Active {
+			s.fogMgr.Activate(sn.ID)
+		} else if !shouldBeActive && sn.Active {
+			clock := sim.Clock{Cycle: cycle, Subcycle: 1}
+			r := s.rRun.SplitNamed("pool")
+			for _, playerID := range s.fogMgr.Deactivate(sn.ID) {
+				if p := s.playerByEndpointID(playerID); p != nil {
+					s.migrate(p, clock, measured, r)
+				}
+			}
+		}
+	}
+}
+
+// ---- streaming evaluation -------------------------------------------------
+
+// evaluatePlayer computes the player's delivery quality for one subcycle,
+// drives the adaptation controller, updates meters, and returns the
+// bitrate streamed (for egress accounting).
+func (s *System) evaluatePlayer(p *Player, clock sim.Clock, measured bool, r *rng.Rand) float64 {
+	link, _ := s.linkFor(p, clock)
+	commMs := s.interactionCommMs(p, clock)
+
+	// Let the rate controller settle against this subcycle's conditions.
+	if p.controller != nil && s.cfg.Mode == ModeCloudFog && s.cfg.Strategies.Adaptation {
+		base := float64(clock.AbsoluteSubcycle()) * 3600
+		for k := 0; k < adaptationStepsPerSubcycle; k++ {
+			delivered := streaming.DeliveredKbps(link, p.controller.BitrateKbps())
+			p.controller.Observe(base+float64(k+1)*adaptationStepSec, delivered)
+		}
+	}
+	bitrate := p.Game.Quality().BitrateKbps
+	level := p.Game.DefaultQuality
+	if p.controller != nil {
+		bitrate = p.controller.BitrateKbps()
+		level = p.controller.Level()
+	}
+
+	// The response loop of a packet is action upload (one-way to the
+	// renderer) + render + video downlink. The server-communication term
+	// affects state freshness between interacting players and is reported
+	// in the response-latency decomposition (Fig. 12), but it does not
+	// delay individual video packets, so it stays out of the on-time
+	// budget.
+	budget := p.Game.LatencyRequirementMs - s.cfg.RenderMs - link.OneWayMs
+	pOn := streaming.OnTimeProbability(link, bitrate, budget)
+	respMs := link.OneWayMs + commMs + s.cfg.RenderMs +
+		streaming.NetworkLatencyMs(link, bitrate) + streaming.PlayoutDelayMs
+	if math.IsInf(respMs, 1) {
+		respMs = 10 * p.Game.LatencyRequirementMs
+	}
+	p.sessionMeter.Observe(1, pOn, respMs)
+
+	if measured {
+		s.metrics.ResponseLatencyMs.Add(respMs)
+		s.metrics.ServerCommMs.Add(commMs)
+		s.metrics.QualityLevel.Add(float64(level))
+		s.metrics.FogServed.Observe(p.src == srcSupernode)
+	}
+	return bitrate
+}
+
+// linkFor builds the delivery link of the player's current video source and
+// returns it with the one-way action latency to the renderer.
+func (s *System) linkFor(p *Player, clock sim.Clock) (streaming.Link, float64) {
+	var srcEp = s.cloud.Datacenters()[p.dc].Endpoint
+	perStream := s.cfg.ServerStreamKbps
+	switch p.src {
+	case srcSupernode:
+		sn := s.fogMgr.Get(p.supernode)
+		srcEp = sn.Endpoint
+		perStream = sn.PerStreamKbps()
+	case srcCDN:
+		srv := s.cdn[p.cdnServer]
+		srcEp = srv.Endpoint
+		perStream = srv.Endpoint.UploadKbps / float64(maxInt(1, len(srv.players)))
+		if perStream > s.cfg.ServerStreamKbps {
+			perStream = s.cfg.ServerStreamKbps
+		}
+	}
+	oneway := s.model.OneWayMs(srcEp, p.Endpoint)
+	dist := geo.Distance(srcEp.Loc, p.Endpoint.Loc)
+	pathCap := p.Endpoint.DownloadKbps *
+		(1 - s.cfg.WideAreaBWPenalty*math.Min(1, dist/wideAreaFullPenaltyKm))
+	eff := math.Min(perStream, pathCap) *
+		s.model.CongestionFactor(p.ID, clock.Cycle, clock.Subcycle)
+	return streaming.Link{
+		OneWayMs:      oneway,
+		EffectiveKbps: eff,
+		BaseJitterMs:  streaming.DefaultBaseJitterMs + s.cfg.JitterPerOnewayMs*oneway,
+	}, oneway
+}
+
+// interactionCommMs returns the server-communication component of the
+// response latency: the player interacts with a random online friend; if
+// their game state lives on different servers, the servers must exchange
+// state (§3.4). Interactions also feed the co-play record that infers
+// implicit friendships for the weekly reassignment.
+func (s *System) interactionCommMs(p *Player, clock sim.Clock) float64 {
+	friends := s.onlineFriends(p)
+	if len(friends) == 0 {
+		return cloudinfra.IntraServerCommMs
+	}
+	rPartner := s.decisionRand("partner", p.ID, clock.Cycle, clock.Subcycle)
+	partner := s.players[friends[rPartner.Intn(len(friends))]]
+	if s.cfg.Strategies.SocialAssignment && clock.Subcycle == p.session.Start {
+		// One co-play record per pair per session keeps the window compact.
+		s.coplay.Record(p.ID, partner.ID, clock.Cycle)
+	}
+	if s.cfg.Mode == ModeCDN {
+		return s.cdnCommMs(p, partner)
+	}
+	// Cloud-computed state (Cloud and CloudFog): interacting players whose
+	// game state lives on the same server exchange state in memory; pairs
+	// on different servers pay a server-to-server synchronization round.
+	if s.cloud.SameServer(p.ID, partner.ID) {
+		return cloudinfra.IntraServerCommMs
+	}
+	return cloudinfra.CrossServerCommMs
+}
+
+// cdnCommMs models EdgeCloud's cooperation penalty: CDN servers each
+// compute state for their own players, so interacting players on different
+// edge servers force a wide-area state exchange between them; and every
+// edge server must additionally keep its slice of the shared virtual world
+// coherent with the authoritative datacenter ("the servers need to
+// cooperate with each other to compute new game status, which leads to
+// relatively long latency").
+func (s *System) cdnCommMs(p, partner *Player) float64 {
+	return s.cdnPairCommMs(p, partner)
+}
+
+// cdnCoordinationFactor discounts the wide-area leg of a cross-edge-server
+// state exchange: the exchange is pipelined with gameplay, so only a
+// fraction of the one-way latency lands on the response path.
+const cdnCoordinationFactor = 0.1
+
+func (s *System) cdnPairCommMs(p, partner *Player) float64 {
+	hostOf := func(q *Player) *cdnServer {
+		if q.src == srcCDN {
+			return s.cdn[q.cdnServer]
+		}
+		return nil
+	}
+	ha, hb := hostOf(p), hostOf(partner)
+	switch {
+	case ha != nil && hb != nil && ha == hb:
+		return cloudinfra.IntraServerCommMs
+	case ha != nil && hb != nil:
+		return cdnCoordinationFactor*s.model.OneWayMs(ha.Endpoint, hb.Endpoint) +
+			cloudinfra.CrossServerCommMs
+	case ha == nil && hb == nil:
+		// Both players spilled to the cloud: ordinary cloud-server comm.
+		if s.cloud.SameServer(p.ID, partner.ID) {
+			return cloudinfra.IntraServerCommMs
+		}
+		return cloudinfra.CrossServerCommMs
+	default:
+		// One on an edge server, one on the cloud.
+		var edge *cdnServer
+		var dc int
+		if ha != nil {
+			edge, dc = ha, partner.dc
+		} else {
+			edge, dc = hb, p.dc
+		}
+		return cdnCoordinationFactor*s.model.OneWayMs(edge.Endpoint, s.cloud.Datacenters()[dc].Endpoint) +
+			cloudinfra.CrossServerCommMs
+	}
+}
+
+// decisionRand returns a deterministic stream for a per-player decision,
+// keyed by purpose, player, and time — independent of how much randomness
+// other subsystems consumed, so compared systems make identical draws.
+func (s *System) decisionRand(purpose string, playerID, cycle, subcycle int) *rng.Rand {
+	h := s.cfg.Seed
+	for _, c := range []byte(purpose) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	h = (h ^ uint64(playerID)) * 0x100000001b3
+	h = (h ^ uint64(cycle)) * 0x100000001b3
+	h = (h ^ uint64(subcycle)) * 0x100000001b3
+	return rng.New(h)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudfog/internal/adaptation"
+	"cloudfog/internal/cloudinfra"
+	"cloudfog/internal/fog"
+	"cloudfog/internal/game"
+	"cloudfog/internal/geo"
+	"cloudfog/internal/netmodel"
+	"cloudfog/internal/provisioning"
+	"cloudfog/internal/reputation"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/social"
+	"cloudfog/internal/streaming"
+	"cloudfog/internal/workload"
+)
+
+// sourceKind describes where a player's game video comes from.
+type sourceKind int
+
+const (
+	srcNone sourceKind = iota
+	srcCloud
+	srcSupernode
+	srcCDN
+)
+
+// Player is one end user of the simulated system.
+type Player struct {
+	// ID is the player's index in [0, Players).
+	ID int
+	// Endpoint is the player's network attachment.
+	Endpoint *netmodel.Endpoint
+	// Behavior is the player's daily play-time class.
+	Behavior workload.BehaviorClass
+	// Game is the title the player currently plays.
+	Game game.Game
+	// Book is the player's private reputation ledger.
+	Book *reputation.Book
+
+	online     bool
+	session    workload.Session
+	src        sourceKind
+	supernode  int // supernode ID when src == srcSupernode
+	cdnServer  int // CDN server index when src == srcCDN
+	dc         int // nearest datacenter index
+	controller *adaptation.Controller
+
+	sessionMeter streaming.Meter
+	meter        streaming.Meter // lifetime, measured window only
+	satisfiedObs int
+	satisfiedHit int
+}
+
+// Online reports whether the player is currently in a session.
+func (p *Player) Online() bool { return p.online }
+
+// cdnServer is an EdgeCloud-style edge server: state + render + stream.
+type cdnServer struct {
+	Index    int
+	Endpoint *netmodel.Endpoint
+	Capacity int
+	players  map[int]struct{}
+}
+
+func (s *cdnServer) available() int { return s.Capacity - len(s.players) }
+
+// supernodeMeta carries per-supernode simulation state beyond fog.Supernode.
+type supernodeMeta struct {
+	// throttleGroup is the owner's willingness profile: 1.0 (always
+	// willing), 0.8, or 0.5 (throttles with 50% probability per cycle).
+	throttleGroup float64
+	// prevSupported is N_i from the previous provisioning slot.
+	prevSupported int
+	// supportedThisSlot accumulates distinct serving load this slot.
+	supportedThisSlot int
+}
+
+// System is one simulated deployment of a gaming system.
+type System struct {
+	cfg   Config
+	model *netmodel.Model
+	games []game.Game
+
+	players []*Player
+	graph   *social.Graph
+
+	cloud      *cloudinfra.Cloud
+	fogMgr     *fog.Manager
+	selector   *fog.Selector
+	snMeta     map[int]*supernodeMeta
+	cdn        []*cdnServer
+	forecaster *provisioning.Forecaster
+	coplay     *social.CoPlayRecorder
+	// lastAssignCycle is the cycle of the most recent weekly assignment.
+	lastAssignCycle int
+
+	metrics Metrics
+
+	rBuild *rng.Rand
+	rRun   *rng.Rand
+
+	// churn-mode state (arrival-script experiments)
+	arrivalPool []int // offline player IDs available to join
+}
+
+// NewSystem builds a deployment from cfg. Construction is deterministic in
+// cfg.Seed.
+func NewSystem(cfg Config) (*System, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	s := &System{
+		cfg:    cfg,
+		games:  game.Catalog(),
+		snMeta: make(map[int]*supernodeMeta),
+		rBuild: master.SplitNamed("build"),
+		rRun:   master.SplitNamed("run"),
+	}
+	s.model = netmodel.NewModel(cfg.Net, cfg.Seed^0xc10dF09)
+	if err := s.buildWorld(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Config returns the normalized configuration of the system.
+func (s *System) Config() Config { return s.cfg }
+
+// Model returns the system's network model.
+func (s *System) Model() *netmodel.Model { return s.model }
+
+// Players returns the player population.
+func (s *System) Players() []*Player { return s.players }
+
+// Graph returns the friendship graph.
+func (s *System) Graph() *social.Graph { return s.graph }
+
+// Fog returns the supernode registry (nil outside ModeCloudFog).
+func (s *System) Fog() *fog.Manager { return s.fogMgr }
+
+// Cloud returns the datacenter infrastructure.
+func (s *System) Cloud() *cloudinfra.Cloud { return s.cloud }
+
+func (s *System) buildWorld() error {
+	cfg := s.cfg
+	nextID := 0
+	idAlloc := func() int { nextID++; return nextID - 1 }
+
+	placer := geo.NewPlacer(nil)
+	rPlace := s.rBuild.SplitNamed("place")
+	rNet := s.rBuild.SplitNamed("net")
+	rBehavior := s.rBuild.SplitNamed("behavior")
+
+	// Players.
+	s.players = make([]*Player, cfg.Players)
+	for i := 0; i < cfg.Players; i++ {
+		ep := netmodel.NewPlayerEndpoint(idAlloc(), placer.PlacePlayer(rPlace), rNet)
+		s.players[i] = &Player{
+			ID:       i,
+			Endpoint: ep,
+			Behavior: workload.SampleBehavior(rBehavior),
+			Book:     reputation.NewBook(cfg.Lambda),
+			Game:     s.games[rBehavior.Intn(len(s.games))],
+			src:      srcNone,
+		}
+	}
+
+	// Social graph: power-law friends (skew 1.5) planted over guilds.
+	s.graph = social.Generate(social.GenerateConfig{
+		N:    cfg.Players,
+		Skew: 1.5,
+	}, s.rBuild.SplitNamed("social"))
+	// Implicit friendships: co-play within the recent week (§3.4).
+	s.coplay = social.NewCoPlayRecorder(0, 0)
+
+	// Cloud datacenters.
+	cloud, err := cloudinfra.New(cfg.Datacenters, cfg.ServersPerDC, idAlloc)
+	if err != nil {
+		return fmt.Errorf("build cloud: %w", err)
+	}
+	s.cloud = cloud
+	for _, p := range s.players {
+		p.dc = s.cloud.NearestDatacenter(p.Endpoint.Loc).ID
+	}
+
+	switch cfg.Mode {
+	case ModeCloudFog:
+		s.buildFog(idAlloc)
+	case ModeCDN:
+		s.buildCDN(placer, idAlloc)
+	case ModeCloud:
+		// nothing extra
+	}
+	return nil
+}
+
+// buildFog deploys supernodes from the candidate pool. Candidates are
+// sampled from the player population's geography (contributed machines live
+// where players live), with capacities Pareto(α=2).
+func (s *System) buildFog(idAlloc func() int) {
+	cfg := s.cfg
+	rFog := s.rBuild.SplitNamed("fog")
+	s.fogMgr = fog.NewManager(s.model)
+	s.fogMgr.CandidateListSize = cfg.CandidateListSize
+
+	placer := geo.NewPlacer(nil)
+	for i := 0; i < cfg.SupernodeCandidates; i++ {
+		// Contributed machines are a mix of players' own computers
+		// (metro-clustered) and organizations' idle desktops (spread out).
+		loc := placer.PlacePlayer(rFog)
+		if rFog.Bool(0.4) {
+			loc = placer.PlaceUniform(rFog)
+		}
+		ep := netmodel.NewSupernodeEndpoint(idAlloc(), loc, rFog)
+		capacity := netmodel.SupernodeCapacity(rFog, cfg.SupernodeCapacityMin, cfg.SupernodeCapacityMax)
+		// A supernode only advertises the slots its uplink can feed with
+		// headroom above the top-ladder bitrate (~5 Mbps per slot), so
+		// streams survive congestion dips — part of the "superior network
+		// connection" requirement of §3.1.1.
+		if byBW := int(ep.UploadKbps / 5000); capacity > byBW && byBW >= 1 {
+			capacity = byBW
+		}
+		if cfg.ForcedSupernodeLoad > 0 {
+			capacity = cfg.ForcedSupernodeLoad
+		}
+		sn := fog.NewSupernode(ep, capacity)
+		sn.Active = i < cfg.Supernodes
+		s.fogMgr.Register(sn)
+
+		meta := &supernodeMeta{throttleGroup: 1}
+		// 1/5 of supernodes throttle to 80%, a further 1/10 to 50%.
+		switch {
+		case i%5 == 1:
+			meta.throttleGroup = 0.8
+		case i%10 == 4:
+			meta.throttleGroup = 0.5
+		}
+		s.snMeta[sn.ID] = meta
+	}
+
+	policy := fog.PolicyRandom
+	if cfg.Strategies.Reputation {
+		policy = fog.PolicyReputation
+	}
+	s.selector = &fog.Selector{
+		Manager:       s.fogMgr,
+		Model:         s.model,
+		CloudEndpoint: s.cloud.Datacenters()[0].Endpoint,
+		Policy:        policy,
+	}
+}
+
+// buildCDN deploys randomly distributed CDN servers (EdgeCloud).
+func (s *System) buildCDN(placer *geo.Placer, idAlloc func() int) {
+	rCDN := s.rBuild.SplitNamed("cdn")
+	for i := 0; i < s.cfg.CDNServers; i++ {
+		ep := netmodel.NewSupernodeEndpoint(idAlloc(), placer.PlaceUniform(rCDN), rCDN)
+		ep.UploadKbps = 200000 // CDN servers have specialized resources
+		ep.DownloadKbps = 200000
+		ep.AccessRTTMs = 2
+		s.cdn = append(s.cdn, &cdnServer{
+			Index:    i,
+			Endpoint: ep,
+			Capacity: s.cfg.CDNServerCapacity,
+			players:  make(map[int]struct{}),
+		})
+	}
+}
+
+// nearestCDNWithCapacity returns the closest CDN server that can take one
+// more player, or nil.
+func (s *System) nearestCDNWithCapacity(loc geo.Point) *cdnServer {
+	var best *cdnServer
+	bestD := 0.0
+	for _, srv := range s.cdn {
+		if srv.available() <= 0 {
+			continue
+		}
+		d := geo.Distance(loc, srv.Endpoint.Loc)
+		if best == nil || d < bestD {
+			best, bestD = srv, d
+		}
+	}
+	return best
+}
+
+// onlineFriends returns the online friends of player p, sorted by ID.
+func (s *System) onlineFriends(p *Player) []int {
+	var out []int
+	for _, f := range s.graph.Friends(p.ID) {
+		if s.players[f].online {
+			out = append(out, f)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

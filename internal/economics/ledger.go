@@ -1,0 +1,139 @@
+package economics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ledger tracks the reward credits the game service provider owes its
+// supernode contributors, implementing the incentive mechanism of §3.1.1:
+// contributors earn a small monthly sign-up bonus for keeping a machine
+// registered, plus per-gigabyte credits for the upload bandwidth actually
+// contributed. Rewards "can be in the form of real money or virtual money
+// for online games"; the ledger is denominated in USD-equivalent credits.
+type Ledger struct {
+	// SignupBonusUSD is the monthly credit for staying registered.
+	SignupBonusUSD float64
+	// RewardPerGB is c_s, the per-gigabyte bandwidth reward.
+	RewardPerGB float64
+
+	accounts map[int]*Account
+}
+
+// Account is one contributor's running balance.
+type Account struct {
+	// SupernodeID identifies the contributed machine.
+	SupernodeID int
+	// ContributedGB is the total upload contributed.
+	ContributedGB float64
+	// BonusMonths counts accrued sign-up bonuses.
+	BonusMonths int
+	// CreditsUSD is the balance owed.
+	CreditsUSD float64
+	// PaidUSD is the total already paid out.
+	PaidUSD float64
+}
+
+// DefaultSignupBonusUSD is the monthly registration bonus: a token amount
+// next to bandwidth rewards, per the paper ("a small amount of monthly
+// sign up bonus").
+const DefaultSignupBonusUSD = 2.0
+
+// NewLedger creates a ledger with the given parameters; non-positive
+// values take the paper's defaults ($1/GB, $2/month).
+func NewLedger(rewardPerGB, signupBonusUSD float64) *Ledger {
+	if rewardPerGB <= 0 {
+		rewardPerGB = RewardUSDPerGB
+	}
+	if signupBonusUSD <= 0 {
+		signupBonusUSD = DefaultSignupBonusUSD
+	}
+	return &Ledger{
+		SignupBonusUSD: signupBonusUSD,
+		RewardPerGB:    rewardPerGB,
+		accounts:       make(map[int]*Account),
+	}
+}
+
+// account returns (creating if needed) the contributor's account.
+func (l *Ledger) account(supernodeID int) *Account {
+	a, ok := l.accounts[supernodeID]
+	if !ok {
+		a = &Account{SupernodeID: supernodeID}
+		l.accounts[supernodeID] = a
+	}
+	return a
+}
+
+// RecordContribution credits gb gigabytes of contributed upload.
+// Non-positive contributions are ignored.
+func (l *Ledger) RecordContribution(supernodeID int, gb float64) {
+	if gb <= 0 {
+		return
+	}
+	a := l.account(supernodeID)
+	a.ContributedGB += gb
+	a.CreditsUSD += gb * l.RewardPerGB
+}
+
+// AccrueMonthlyBonus credits the sign-up bonus to every registered account
+// (call once per billing month).
+func (l *Ledger) AccrueMonthlyBonus() {
+	for _, a := range l.accounts {
+		a.BonusMonths++
+		a.CreditsUSD += l.SignupBonusUSD
+	}
+}
+
+// Register ensures the contributor has an account (so it receives the
+// monthly bonus even before contributing bandwidth).
+func (l *Ledger) Register(supernodeID int) { l.account(supernodeID) }
+
+// Balance returns the credits currently owed to the contributor.
+func (l *Ledger) Balance(supernodeID int) float64 {
+	if a, ok := l.accounts[supernodeID]; ok {
+		return a.CreditsUSD
+	}
+	return 0
+}
+
+// PayOut settles up to maxUSD of the contributor's balance and returns the
+// amount paid.
+func (l *Ledger) PayOut(supernodeID int, maxUSD float64) float64 {
+	a, ok := l.accounts[supernodeID]
+	if !ok || maxUSD <= 0 {
+		return 0
+	}
+	paid := a.CreditsUSD
+	if paid > maxUSD {
+		paid = maxUSD
+	}
+	a.CreditsUSD -= paid
+	a.PaidUSD += paid
+	return paid
+}
+
+// TotalLiabilityUSD returns the provider's total outstanding credits — the
+// number Eq. 3 weighs against the saved server bandwidth.
+func (l *Ledger) TotalLiabilityUSD() float64 {
+	var sum float64
+	for _, a := range l.accounts {
+		sum += a.CreditsUSD
+	}
+	return sum
+}
+
+// Accounts returns copies of all accounts, sorted by supernode ID.
+func (l *Ledger) Accounts() []Account {
+	out := make([]Account, 0, len(l.accounts))
+	for _, a := range l.accounts {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SupernodeID < out[j].SupernodeID })
+	return out
+}
+
+// String summarizes the ledger.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("ledger{accounts=%d liability=$%.2f}", len(l.accounts), l.TotalLiabilityUSD())
+}

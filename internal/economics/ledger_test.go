@@ -1,0 +1,134 @@
+package economics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLedgerDefaults(t *testing.T) {
+	l := NewLedger(0, 0)
+	if l.RewardPerGB != RewardUSDPerGB || l.SignupBonusUSD != DefaultSignupBonusUSD {
+		t.Errorf("defaults: %+v", l)
+	}
+	l = NewLedger(2.5, 1)
+	if l.RewardPerGB != 2.5 || l.SignupBonusUSD != 1 {
+		t.Error("explicit values lost")
+	}
+}
+
+func TestContributionCredits(t *testing.T) {
+	l := NewLedger(1, 2)
+	l.RecordContribution(7, 3.5)
+	l.RecordContribution(7, 1.5)
+	if got := l.Balance(7); got != 5 {
+		t.Errorf("balance = %v", got)
+	}
+	l.RecordContribution(7, -4) // ignored
+	l.RecordContribution(7, 0)  // ignored
+	if got := l.Balance(7); got != 5 {
+		t.Errorf("balance after bad contributions = %v", got)
+	}
+	if l.Balance(99) != 0 {
+		t.Error("unknown account has balance")
+	}
+}
+
+func TestMonthlyBonus(t *testing.T) {
+	l := NewLedger(1, 2)
+	l.Register(1)
+	l.Register(2)
+	l.AccrueMonthlyBonus()
+	l.AccrueMonthlyBonus()
+	if l.Balance(1) != 4 || l.Balance(2) != 4 {
+		t.Errorf("bonus balances: %v %v", l.Balance(1), l.Balance(2))
+	}
+	accounts := l.Accounts()
+	if len(accounts) != 2 || accounts[0].BonusMonths != 2 {
+		t.Errorf("accounts: %+v", accounts)
+	}
+}
+
+func TestPayOut(t *testing.T) {
+	l := NewLedger(1, 2)
+	l.RecordContribution(3, 10)
+	if paid := l.PayOut(3, 4); paid != 4 {
+		t.Errorf("partial payout = %v", paid)
+	}
+	if l.Balance(3) != 6 {
+		t.Errorf("balance after partial = %v", l.Balance(3))
+	}
+	if paid := l.PayOut(3, 100); paid != 6 {
+		t.Errorf("full payout = %v", paid)
+	}
+	if l.Balance(3) != 0 {
+		t.Error("balance not settled")
+	}
+	if paid := l.PayOut(3, 10); paid != 0 {
+		t.Errorf("settled account paid %v", paid)
+	}
+	if paid := l.PayOut(99, 10); paid != 0 {
+		t.Errorf("unknown account paid %v", paid)
+	}
+	if paid := l.PayOut(3, -1); paid != 0 {
+		t.Errorf("negative max paid %v", paid)
+	}
+	a := l.Accounts()[0]
+	if a.PaidUSD != 10 {
+		t.Errorf("PaidUSD = %v", a.PaidUSD)
+	}
+}
+
+func TestTotalLiability(t *testing.T) {
+	l := NewLedger(1, 2)
+	l.RecordContribution(1, 2)
+	l.RecordContribution(2, 3)
+	l.AccrueMonthlyBonus()
+	if got := l.TotalLiabilityUSD(); got != 2+3+2+2 {
+		t.Errorf("liability = %v", got)
+	}
+	if l.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAccountsSorted(t *testing.T) {
+	l := NewLedger(1, 2)
+	for _, id := range []int{9, 2, 5} {
+		l.Register(id)
+	}
+	accounts := l.Accounts()
+	for i := 1; i < len(accounts); i++ {
+		if accounts[i].SupernodeID <= accounts[i-1].SupernodeID {
+			t.Fatal("accounts not sorted")
+		}
+	}
+	// Accounts returns copies: mutating them must not touch the ledger.
+	accounts[0].CreditsUSD = 1e9
+	if l.Balance(accounts[0].SupernodeID) == 1e9 {
+		t.Error("Accounts exposes internal state")
+	}
+}
+
+func TestLedgerConservationProperty(t *testing.T) {
+	// Property: credits earned == balance + paid out, always.
+	f := func(contribs []uint8, payouts []uint8) bool {
+		l := NewLedger(1, 0)
+		var earned float64
+		for _, c := range contribs {
+			gb := float64(c) / 10
+			l.RecordContribution(1, gb)
+			if gb > 0 {
+				earned += gb
+			}
+		}
+		var paid float64
+		for _, p := range payouts {
+			paid += l.PayOut(1, float64(p)/10)
+		}
+		diff := earned - (l.Balance(1) + paid)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cloudfog/internal/core"
+)
+
+// latencyRequirements are the network response-latency thresholds swept by
+// Fig. 4 and Fig. 5 (the latency requirements of the Table 2 game genres).
+var latencyRequirements = []float64{30, 50, 70, 90, 110}
+
+// Fig4a reproduces Fig. 4(a): user coverage vs. number of datacenters on
+// the PeerSim profile, one series per latency requirement.
+func Fig4a(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	opts.Profile = ProfilePeerSim
+	return coverageVsDatacenters(opts, "fig4a", []int{1, 5, 10, 15, 20, 25})
+}
+
+// Fig5a reproduces Fig. 5(a): user coverage vs. number of datacenters on
+// the PlanetLab profile.
+func Fig5a(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	opts.Profile = ProfilePlanetLab
+	return coverageVsDatacenters(opts, "fig5a", []int{1, 2, 4, 8, 12, 16})
+}
+
+// Fig4b reproduces Fig. 4(b): user coverage vs. number of supernodes on
+// the PeerSim profile (the default datacenters remain available).
+func Fig4b(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	opts.Profile = ProfilePeerSim
+	return coverageVsSupernodes(opts, "fig4b", []int{0, 50, 100, 200, 400, 600, 800, 1000})
+}
+
+// Fig5b reproduces Fig. 5(b): user coverage vs. number of supernodes on
+// the PlanetLab profile.
+func Fig5b(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	opts.Profile = ProfilePlanetLab
+	return coverageVsSupernodes(opts, "fig5b", []int{0, 10, 20, 40, 60, 80, 100})
+}
+
+func coverageVsDatacenters(opts Options, id string, datacenters []int) (*Figure, error) {
+	cfg, _, _ := opts.baseConfig()
+	study, err := core.NewCoverageStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  "user coverage vs number of datacenters",
+		XLabel: "#datacenters",
+		YLabel: "ratio of covered players",
+	}
+	for _, req := range latencyRequirements {
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%.0f ms", req)})
+	}
+	for _, nd := range datacenters {
+		cov := study.CoverageVsDatacenters(nd, latencyRequirements)
+		for i := range latencyRequirements {
+			fig.Series[i].X = append(fig.Series[i].X, float64(nd))
+			fig.Series[i].Y = append(fig.Series[i].Y, cov[i])
+		}
+	}
+	return fig, nil
+}
+
+func coverageVsSupernodes(opts Options, id string, supernodes []int) (*Figure, error) {
+	cfg, _, _ := opts.baseConfig()
+	study, err := core.NewCoverageStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  "user coverage vs number of supernodes",
+		XLabel: "#supernodes",
+		YLabel: "ratio of covered players",
+	}
+	for _, req := range latencyRequirements {
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("%.0f ms", req)})
+	}
+	for _, ns := range supernodes {
+		cov := study.CoverageVsSupernodes(ns, latencyRequirements)
+		for i := range latencyRequirements {
+			fig.Series[i].X = append(fig.Series[i].X, float64(ns))
+			fig.Series[i].Y = append(fig.Series[i].Y, cov[i])
+		}
+	}
+	return fig, nil
+}

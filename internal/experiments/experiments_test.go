@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != ScaleQuick || o.Profile != ProfilePeerSim || o.Seed != 1 {
+		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" || Scale(0).String() != "unknown" {
+		t.Error("Scale.String mismatch")
+	}
+}
+
+func TestBaseConfigScales(t *testing.T) {
+	quick := Options{Scale: ScaleQuick}.withDefaults()
+	cfg, cycles, warmup := quick.baseConfig()
+	if cfg.Players != 1200 || cycles != 6 || warmup != 3 {
+		t.Errorf("quick base: players=%d cycles=%d warmup=%d", cfg.Players, cycles, warmup)
+	}
+	full := Options{Scale: ScaleFull}.withDefaults()
+	cfg, cycles, warmup = full.baseConfig()
+	if cfg.Players != 10000 || cycles != 28 || warmup != 21 {
+		t.Errorf("full base: players=%d cycles=%d warmup=%d", cfg.Players, cycles, warmup)
+	}
+	pl := Options{Profile: ProfilePlanetLab}.withDefaults()
+	cfg, _, _ = pl.baseConfig()
+	if cfg.Players != 750 || cfg.Datacenters != 2 {
+		t.Errorf("planetlab base: %+v", cfg)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "test", Title: "title", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30}},
+		},
+	}
+	out := fig.String()
+	for _, want := range []string{"test", "title", "a", "b", "10", "30", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Figure{ID: "e", Title: "t"}
+	if !strings.Contains(empty.String(), "no series") {
+		t.Error("empty figure render")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	fig := Table2()
+	if len(fig.Series) != 3 {
+		t.Fatalf("table2 series = %d", len(fig.Series))
+	}
+	if len(fig.Series[0].X) != 5 {
+		t.Fatalf("table2 rows = %d", len(fig.Series[0].X))
+	}
+	if fig.Series[0].Y[4] != 1800 {
+		t.Errorf("top bitrate = %v", fig.Series[0].Y[4])
+	}
+}
+
+func TestFig16a(t *testing.T) {
+	fig, err := Fig16a(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	rewards, costs, profits := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range rewards.X {
+		if profits.Y[i] != rewards.Y[i]-costs.Y[i] {
+			t.Error("profit != reward - cost")
+		}
+		// The paper's point: costs are trivial compared to rewards.
+		if costs.Y[i] > 0.2*rewards.Y[i] {
+			t.Errorf("costs not trivial at %v h: %v vs %v", rewards.X[i], costs.Y[i], rewards.Y[i])
+		}
+	}
+	// Rewards grow with hours.
+	if rewards.Y[len(rewards.Y)-1] <= rewards.Y[0] {
+		t.Error("rewards do not grow with hours")
+	}
+}
+
+func TestFig16b(t *testing.T) {
+	fig, err := Fig16b(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renting, rewards, savings := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range renting.X {
+		if savings.Y[i] != renting.Y[i]-rewards.Y[i] {
+			t.Error("saving != renting - reward")
+		}
+		if savings.Y[i] <= 0 {
+			t.Errorf("provider saving not positive at %v h", renting.X[i])
+		}
+	}
+}
+
+func TestAnnualFleetCost(t *testing.T) {
+	s := AnnualFleetCost()
+	if !strings.Contains(s, "supernodes") || !strings.Contains(s, "datacenter") {
+		t.Errorf("fleet cost text: %q", s)
+	}
+}
+
+func TestAblationProvisioningSelection(t *testing.T) {
+	fig, err := AblationProvisioningSelection(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq16, topk := fig.Series[0], fig.Series[1]
+	for i := range eq16.X {
+		// Top-k concentrates on the busiest ranks more than Eq. 16.
+		if topk.Y[i] > eq16.Y[i] {
+			t.Errorf("top-k mean rank %v above Eq.16 %v at k=%v", topk.Y[i], eq16.Y[i], eq16.X[i])
+		}
+	}
+}
+
+func TestAblationAssignmentRefinement(t *testing.T) {
+	fig, err := AblationAssignmentRefinement(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, refined, polished := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range greedy.X {
+		if refined.Y[i] < greedy.Y[i]-1e-9 {
+			t.Errorf("refinement reduced Γ at z=%v", greedy.X[i])
+		}
+		if polished.Y[i] < refined.Y[i]-1e-9 {
+			t.Errorf("polish reduced Γ at z=%v", greedy.X[i])
+		}
+	}
+}
+
+func TestFigureJSONAndCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "demo", XLabel: "x,axis", YLabel: "y",
+		Series: []Series{{Label: `quo"ted`, X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+	data, err := fig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"t"`, `"x":[1,2]`, `"y":[3,4]`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %q: %s", want, data)
+		}
+	}
+	var csv strings.Builder
+	fig.RenderCSV(&csv)
+	out := csv.String()
+	if !strings.Contains(out, `"x,axis"`) {
+		t.Errorf("CSV header not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"quo""ted"`) {
+		t.Errorf("CSV quote not escaped: %s", out)
+	}
+	if !strings.Contains(out, "1,3") || !strings.Contains(out, "2,4") {
+		t.Errorf("CSV rows missing: %s", out)
+	}
+}

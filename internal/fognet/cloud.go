@@ -1,0 +1,402 @@
+// Package fognet is the runnable networked prototype of the CloudFog
+// architecture: a cloud server that owns the authoritative virtual world,
+// fog nodes (supernodes) that replicate it and render/stream per-player
+// video, and thin player clients — the three tiers of Fig. 1 of the paper,
+// speaking internal/protocol over TCP.
+//
+// The prototype is what a downstream adopter would run: the cloud ticks
+// the world and fans out compact update batches (the Λ stream), fog nodes
+// apply them to replicas, render frames for each attached player's
+// viewport, encode them at the player's current Table 2 quality level, and
+// stream them; players drive the receiver-driven rate adaptation of §3.3
+// against the measured delivery rate.
+//
+// All components follow the same lifecycle contract: a constructor that
+// starts listening, a Start/run goroutine owned by the component, and a
+// Close that stops every goroutine and waits for them to exit.
+package fognet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/virtualworld"
+)
+
+// DefaultTickInterval is the world tick period (20 Hz).
+const DefaultTickInterval = 50 * time.Millisecond
+
+// CloudConfig parameterizes a CloudServer.
+type CloudConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// TickInterval is the world tick period. Defaults to
+	// DefaultTickInterval.
+	TickInterval time.Duration
+	// WorldWidth, WorldHeight size the virtual world (defaults apply).
+	WorldWidth, WorldHeight float64
+	// NPCs seeds the world with this many NPCs on a grid.
+	NPCs int
+}
+
+// CloudServer is the authoritative game-state tier.
+type CloudServer struct {
+	cfg      CloudConfig
+	listener net.Listener
+
+	mu            sync.Mutex
+	world         *virtualworld.World
+	pending       []virtualworld.Action
+	supernodes    map[uint32]*supernodeConn
+	nextSNID      uint32
+	players       map[int32]net.Conn
+	updateBits    int64
+	ticks         int64
+	fallbackBits  int64
+	fallbackCount int64
+	fallbackLive  int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type supernodeConn struct {
+	id         uint32
+	name       string
+	streamAddr string
+	capacity   int
+	conn       net.Conn
+	sendMu     sync.Mutex
+}
+
+// NewCloudServer starts a cloud server listening on cfg.Addr.
+func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloud listen: %w", err)
+	}
+	s := &CloudServer{
+		cfg:        cfg,
+		listener:   ln,
+		world:      virtualworld.New(cfg.WorldWidth, cfg.WorldHeight),
+		supernodes: make(map[uint32]*supernodeConn),
+		players:    make(map[int32]net.Conn),
+		nextSNID:   1,
+		stop:       make(chan struct{}),
+	}
+	width, height := s.world.Size()
+	for i := 0; i < cfg.NPCs; i++ {
+		s.world.SpawnNPC(
+			width*float64(i%4+1)/5,
+			height*float64(i/4+1)/5,
+		)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *CloudServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and waits for all connection goroutines.
+func (s *CloudServer) Close() error {
+	select {
+	case <-s.stop:
+		return nil // already closed
+	default:
+	}
+	close(s.stop)
+	err := s.listener.Close()
+	s.mu.Lock()
+	for _, sn := range s.supernodes {
+		sn.conn.Close()
+	}
+	for _, c := range s.players {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Stats reports cloud-side counters.
+type CloudStats struct {
+	// Ticks is how many world ticks ran.
+	Ticks int64
+	// UpdateBits is the total update-stream egress (the Λ traffic).
+	UpdateBits int64
+	// Supernodes is the number of registered supernodes.
+	Supernodes int
+	// Players is the number of admitted players.
+	Players int
+	// Entities is the current world entity count.
+	Entities int
+	// FallbackBits is the video egress of cloud-streamed (fallback)
+	// players — the expensive traffic CloudFog exists to avoid.
+	FallbackBits int64
+	// FallbackPlayers is the number of live cloud-streamed sessions.
+	FallbackPlayers int
+	// FallbackFrames is the total frames the cloud rendered itself.
+	FallbackFrames int64
+}
+
+// Stats snapshots the counters.
+func (s *CloudServer) Stats() CloudStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CloudStats{
+		Ticks:           s.ticks,
+		UpdateBits:      s.updateBits,
+		Supernodes:      len(s.supernodes),
+		Players:         len(s.players),
+		Entities:        s.world.NumEntities(),
+		FallbackBits:    s.fallbackBits,
+		FallbackPlayers: s.fallbackLive,
+		FallbackFrames:  s.fallbackCount,
+	}
+}
+
+func (s *CloudServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// tickLoop advances the world and fans out update batches.
+func (s *CloudServer) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.tickOnce()
+		}
+	}
+}
+
+func (s *CloudServer) tickOnce() {
+	s.mu.Lock()
+	actions := s.pending
+	s.pending = nil
+	deltas := s.world.Step(actions)
+	s.ticks++
+	tick := s.world.Tick()
+	sns := make([]*supernodeConn, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		sns = append(sns, sn)
+	}
+	s.mu.Unlock()
+
+	if len(deltas) == 0 || len(sns) == 0 {
+		return
+	}
+	batch := protocol.UpdateBatch{Tick: tick, Deltas: deltas}
+	payload := batch.Marshal()
+	var bits int64
+	for _, sn := range sns {
+		sn.sendMu.Lock()
+		err := protocol.WriteMessage(sn.conn, protocol.MsgUpdateBatch, payload)
+		sn.sendMu.Unlock()
+		if err != nil {
+			// The read loop of this supernode connection will observe the
+			// failure and unregister it.
+			continue
+		}
+		bits += int64(len(payload)+5) * 8
+	}
+	s.mu.Lock()
+	s.updateBits += bits
+	s.mu.Unlock()
+}
+
+// handleConn dispatches on the first message: supernode registration or
+// player admission.
+func (s *CloudServer) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	typ, payload, err := protocol.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch typ {
+	case protocol.MsgSupernodeHello:
+		s.serveSupernode(conn, payload)
+	case protocol.MsgPlayerJoin:
+		s.servePlayer(conn, payload)
+	case protocol.MsgProbe:
+		// Fallback streaming session: the cloud itself renders for
+		// players no supernode accepted. The cloud never refuses —
+		// it is the last resort (and the bandwidth bill shows it).
+		s.serveFallbackStream(conn)
+	default:
+		conn.Close()
+	}
+}
+
+// serveFallbackStream answers the probe and runs a cloud-rendered video
+// session, exactly like a supernode but from the authoritative world.
+func (s *CloudServer) serveFallbackStream(conn net.Conn) {
+	defer conn.Close()
+	reply := protocol.ProbeReply{Available: 1 << 15} // effectively unbounded
+	if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
+		return
+	}
+	typ, payload, err := protocol.ReadMessage(conn)
+	if err != nil || typ != protocol.MsgPlayerAttach {
+		return
+	}
+	attach, err := protocol.UnmarshalPlayerAttach(payload)
+	if err != nil {
+		return
+	}
+	if protocol.WriteMessage(conn, protocol.MsgAttachReply, protocol.AttachReply{OK: true}.Marshal()) != nil {
+		return
+	}
+	s.mu.Lock()
+	s.fallbackLive++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.fallbackLive--
+		s.mu.Unlock()
+	}()
+	runVideoSession(conn, attach.PlayerID, game.QualityLevel(attach.QualityLevel),
+		DefaultFrameInterval, s, cloudFallbackCounters{s}, s.stop, &s.wg)
+}
+
+// currentSnapshot implements snapshotSource over the authoritative world.
+func (s *CloudServer) currentSnapshot() virtualworld.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.world.Snapshot()
+}
+
+// cloudFallbackCounters routes fallback-session egress into the cloud's
+// bandwidth accounting.
+type cloudFallbackCounters struct{ s *CloudServer }
+
+func (c cloudFallbackCounters) addFrame(bits int) {
+	c.s.mu.Lock()
+	c.s.fallbackBits += int64(bits)
+	c.s.fallbackCount++
+	c.s.mu.Unlock()
+}
+
+func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
+	hello, err := protocol.UnmarshalSupernodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	sn := &supernodeConn{
+		id:         s.nextSNID,
+		name:       hello.Name,
+		streamAddr: hello.StreamAddr,
+		capacity:   hello.Capacity,
+		conn:       conn,
+	}
+	s.nextSNID++
+	s.supernodes[sn.id] = sn
+	welcome := protocol.SupernodeWelcome{SupernodeID: sn.id, Snapshot: s.world.Snapshot()}
+	s.mu.Unlock()
+
+	sn.sendMu.Lock()
+	err = protocol.WriteMessage(conn, protocol.MsgSupernodeWelcome, welcome.Marshal())
+	sn.sendMu.Unlock()
+	if err == nil {
+		// Block on the connection until the supernode leaves; it sends
+		// nothing further (updates flow the other way).
+		for {
+			if _, _, rerr := protocol.ReadMessage(conn); rerr != nil {
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	delete(s.supernodes, sn.id)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
+	join, err := protocol.UnmarshalPlayerJoin(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	s.world.SpawnAvatar(int(join.PlayerID), join.SpawnX, join.SpawnY)
+	s.players[join.PlayerID] = conn
+	// Candidate list: registered supernode stream addresses, stable order.
+	addrs := make([]string, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		addrs = append(addrs, sn.streamAddr)
+	}
+	sort.Strings(addrs)
+	s.mu.Unlock()
+
+	reply := protocol.JoinReply{
+		OK:              true,
+		SupernodeAddrs:  addrs,
+		CloudStreamAddr: s.Addr(),
+	}
+	if err := protocol.WriteMessage(conn, protocol.MsgJoinReply, reply.Marshal()); err != nil {
+		s.dropPlayer(join.PlayerID, conn)
+		return
+	}
+
+	// Action loop: the player streams inputs until it leaves.
+	for {
+		typ, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			break
+		}
+		switch typ {
+		case protocol.MsgAction:
+			am, aerr := protocol.UnmarshalActionMsg(payload)
+			if aerr != nil || am.Action.Player != int(join.PlayerID) {
+				continue // never let a player act for another
+			}
+			s.mu.Lock()
+			s.pending = append(s.pending, am.Action)
+			s.mu.Unlock()
+		case protocol.MsgBye:
+			s.dropPlayer(join.PlayerID, conn)
+			return
+		}
+	}
+	s.dropPlayer(join.PlayerID, conn)
+}
+
+func (s *CloudServer) dropPlayer(id int32, conn net.Conn) {
+	s.mu.Lock()
+	if s.players[id] == conn {
+		delete(s.players, id)
+		s.world.RemovePlayer(int(id))
+	}
+	s.mu.Unlock()
+	conn.Close()
+}

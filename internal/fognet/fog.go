@@ -1,0 +1,268 @@
+package fognet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/virtualworld"
+)
+
+// DefaultFrameInterval is the streaming frame period. The paper streams at
+// 30 fps; the prototype default matches, and tests lower it.
+const DefaultFrameInterval = time.Second / 30
+
+// FogConfig parameterizes a FogNode.
+type FogConfig struct {
+	// Name labels the supernode.
+	Name string
+	// CloudAddr is the cloud server to register with.
+	CloudAddr string
+	// StreamAddr is the listen address for player video sessions
+	// ("127.0.0.1:0" for an ephemeral port).
+	StreamAddr string
+	// Capacity is the maximum concurrent players (the supernode capacity
+	// of §3.2.1).
+	Capacity int
+	// FrameInterval is the video frame period. Defaults to
+	// DefaultFrameInterval.
+	FrameInterval time.Duration
+}
+
+// FogNode is one supernode: it replicates the world and renders/streams
+// per-player video.
+type FogNode struct {
+	cfg      FogConfig
+	cloud    net.Conn
+	listener net.Listener
+	id       uint32
+
+	mu        sync.Mutex
+	replica   *virtualworld.Replica
+	attached  map[int32]struct{}
+	videoBits int64
+	frames    int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewFogNode connects to the cloud, registers, seeds its replica, and
+// starts serving players on StreamAddr.
+func NewFogNode(cfg FogConfig) (*FogNode, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8
+	}
+	if cfg.FrameInterval <= 0 {
+		cfg.FrameInterval = DefaultFrameInterval
+	}
+	if cfg.StreamAddr == "" {
+		cfg.StreamAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.StreamAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fog listen: %w", err)
+	}
+	cloud, err := net.Dial("tcp", cfg.CloudAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("fog dial cloud: %w", err)
+	}
+	f := &FogNode{
+		cfg:      cfg,
+		cloud:    cloud,
+		listener: ln,
+		attached: make(map[int32]struct{}),
+		stop:     make(chan struct{}),
+	}
+	hello := protocol.SupernodeHello{
+		Name:       cfg.Name,
+		Capacity:   cfg.Capacity,
+		StreamAddr: ln.Addr().String(),
+	}
+	if err := protocol.WriteMessage(cloud, protocol.MsgSupernodeHello, hello.Marshal()); err != nil {
+		f.closeAll()
+		return nil, fmt.Errorf("fog register: %w", err)
+	}
+	typ, payload, err := protocol.ReadMessage(cloud)
+	if err != nil || typ != protocol.MsgSupernodeWelcome {
+		f.closeAll()
+		return nil, fmt.Errorf("fog welcome: %v %w", typ, err)
+	}
+	welcome, err := protocol.UnmarshalSupernodeWelcome(payload)
+	if err != nil {
+		f.closeAll()
+		return nil, fmt.Errorf("fog welcome decode: %w", err)
+	}
+	f.id = welcome.SupernodeID
+	f.replica = virtualworld.NewReplica(welcome.Snapshot.Width, welcome.Snapshot.Height)
+	f.replica.Seed(welcome.Snapshot)
+
+	f.wg.Add(2)
+	go f.updateLoop()
+	go f.acceptLoop()
+	return f, nil
+}
+
+// StreamAddr returns the address players connect to for video.
+func (f *FogNode) StreamAddr() string { return f.listener.Addr().String() }
+
+// ID returns the cloud-assigned supernode ID.
+func (f *FogNode) ID() uint32 { return f.id }
+
+func (f *FogNode) closeAll() {
+	f.listener.Close()
+	f.cloud.Close()
+}
+
+// Close stops the fog node and waits for its goroutines.
+func (f *FogNode) Close() error {
+	select {
+	case <-f.stop:
+		return nil
+	default:
+	}
+	close(f.stop)
+	f.closeAll()
+	f.wg.Wait()
+	return nil
+}
+
+// FogStats reports supernode counters.
+type FogStats struct {
+	// ReplicaTick is the latest applied world tick.
+	ReplicaTick uint64
+	// Attached is the number of streaming players.
+	Attached int
+	// Frames is the total video frames streamed.
+	Frames int64
+	// VideoBits is the total video egress.
+	VideoBits int64
+	// AppliedDeltas / StaleDeltas are replica counters.
+	AppliedDeltas int
+	StaleDeltas   int
+}
+
+// Stats snapshots the counters.
+func (f *FogNode) Stats() FogStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FogStats{
+		ReplicaTick:   f.replica.Tick(),
+		Attached:      len(f.attached),
+		Frames:        f.frames,
+		VideoBits:     f.videoBits,
+		AppliedDeltas: f.replica.AppliedDeltas(),
+		StaleDeltas:   f.replica.StaleDeltas(),
+	}
+}
+
+// updateLoop applies the cloud's update stream to the replica.
+func (f *FogNode) updateLoop() {
+	defer f.wg.Done()
+	for {
+		typ, payload, err := protocol.ReadMessage(f.cloud)
+		if err != nil {
+			return // cloud gone or Close()
+		}
+		if typ != protocol.MsgUpdateBatch {
+			continue
+		}
+		batch, err := protocol.UnmarshalUpdateBatch(payload)
+		if err != nil {
+			continue
+		}
+		f.mu.Lock()
+		f.replica.Apply(batch.Tick, batch.Deltas)
+		f.mu.Unlock()
+	}
+}
+
+func (f *FogNode) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.listener.Accept()
+		if err != nil {
+			return
+		}
+		f.wg.Add(1)
+		go f.servePlayer(conn)
+	}
+}
+
+// available returns the free player slots.
+func (f *FogNode) available() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.Capacity - len(f.attached)
+}
+
+// servePlayer answers capacity probes and runs one player's video session.
+func (f *FogNode) servePlayer(conn net.Conn) {
+	defer f.wg.Done()
+	defer conn.Close()
+
+	var playerID int32
+	var level game.QualityLevel
+	attached := false
+	for !attached {
+		typ, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case protocol.MsgProbe:
+			reply := protocol.ProbeReply{Available: f.available()}
+			if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
+				return
+			}
+		case protocol.MsgPlayerAttach:
+			attach, aerr := protocol.UnmarshalPlayerAttach(payload)
+			if aerr != nil {
+				return
+			}
+			f.mu.Lock()
+			ok := len(f.attached) < f.cfg.Capacity
+			if ok {
+				f.attached[attach.PlayerID] = struct{}{}
+			}
+			f.mu.Unlock()
+			reply := protocol.AttachReply{OK: ok}
+			if !ok {
+				reply.Reason = "at capacity"
+			}
+			if protocol.WriteMessage(conn, protocol.MsgAttachReply, reply.Marshal()) != nil || !ok {
+				return
+			}
+			playerID = attach.PlayerID
+			level = game.QualityLevel(attach.QualityLevel)
+			attached = true
+		default:
+			return
+		}
+	}
+	defer func() {
+		f.mu.Lock()
+		delete(f.attached, playerID)
+		f.mu.Unlock()
+	}()
+	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f, f, f.stop, &f.wg)
+}
+
+// currentSnapshot implements snapshotSource over the replica.
+func (f *FogNode) currentSnapshot() virtualworld.Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replica.Snapshot()
+}
+
+// addFrame implements streamCounters.
+func (f *FogNode) addFrame(bits int) {
+	f.mu.Lock()
+	f.frames++
+	f.videoBits += int64(bits)
+	f.mu.Unlock()
+}

@@ -1,0 +1,386 @@
+package fognet
+
+import (
+	"testing"
+	"time"
+
+	"cloudfog/internal/game"
+)
+
+// startCloud creates a fast-ticking cloud server for tests.
+func startCloud(t *testing.T) *CloudServer {
+	t.Helper()
+	cloud, err := NewCloudServer(CloudConfig{
+		TickInterval: 5 * time.Millisecond,
+		NPCs:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cloud.Close() })
+	return cloud
+}
+
+func startFog(t *testing.T, cloud *CloudServer, name string, capacity int) *FogNode {
+	t.Helper()
+	fog, err := NewFogNode(FogConfig{
+		Name:          name,
+		CloudAddr:     cloud.Addr(),
+		Capacity:      capacity,
+		FrameInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fog.Close() })
+	return fog
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSupernodeRegistration(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 4)
+	if fog.ID() == 0 {
+		t.Error("no supernode ID assigned")
+	}
+	stats := cloud.Stats()
+	if stats.Supernodes != 1 {
+		t.Errorf("registered supernodes = %d", stats.Supernodes)
+	}
+	// The replica was seeded with the NPCs.
+	if got := fog.Stats(); got.ReplicaTick != 0 && got.AppliedDeltas == 0 {
+		t.Errorf("replica not seeded: %+v", got)
+	}
+}
+
+func TestSupernodeLeaveUnregisters(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 4)
+	fog.Close()
+	waitFor(t, 2*time.Second, "unregistration", func() bool {
+		return cloud.Stats().Supernodes == 0
+	})
+}
+
+func TestEndToEndStreaming(t *testing.T) {
+	cloud := startCloud(t)
+	startFog(t, cloud, "fog-1", 4)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       7,
+		CloudAddr:      cloud.Addr(),
+		Game:           game.Catalog()[2],
+		ActionInterval: 10 * time.Millisecond,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	// The full loop must close: actions reach the cloud, the world
+	// advances, deltas reach the fog replica, frames reach the player,
+	// and the frames depict a recent world tick.
+	waitFor(t, 5*time.Second, "decoded frames", func() bool {
+		s := player.Stats()
+		return s.Frames >= 10 && s.LastTick > 0
+	})
+	stats := player.Stats()
+	if stats.DecodeErrors > stats.Frames/10 {
+		t.Errorf("decode errors: %d of %d frames", stats.DecodeErrors, stats.Frames)
+	}
+	if stats.VideoBits == 0 {
+		t.Error("no video volume counted")
+	}
+	cs := cloud.Stats()
+	if cs.Players != 1 || cs.UpdateBits == 0 {
+		t.Errorf("cloud stats: %+v", cs)
+	}
+}
+
+func TestReplicaTracksWorld(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 4)
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 3, CloudAddr: cloud.Addr(),
+		ActionInterval: 5 * time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 5*time.Second, "replica deltas", func() bool {
+		s := fog.Stats()
+		return s.AppliedDeltas > 5 && s.ReplicaTick > 0
+	})
+}
+
+func TestCapacityProbingFallsThrough(t *testing.T) {
+	cloud := startCloud(t)
+	full := startFog(t, cloud, "fog-full", 1)
+	// Fill the first supernode.
+	p1, err := NewPlayerClient(PlayerConfig{PlayerID: 1, CloudAddr: cloud.Addr(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	waitFor(t, 2*time.Second, "first attach", func() bool {
+		return full.Stats().Attached == 1
+	})
+	// The second supernode takes the overflow (sequential probing).
+	spare := startFog(t, cloud, "fog-spare", 4)
+	p2, err := NewPlayerClient(PlayerConfig{PlayerID: 2, CloudAddr: cloud.Addr(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	waitFor(t, 2*time.Second, "overflow attach", func() bool {
+		return spare.Stats().Attached == 1
+	})
+	if full.Stats().Attached != 1 {
+		t.Error("full supernode accepted beyond capacity")
+	}
+}
+
+func TestCloudFallbackWithoutSupernodes(t *testing.T) {
+	// With no fog at all, players stream from the cloud itself — the
+	// paper's fallback path, and the bandwidth bill CloudFog eliminates.
+	cloud := startCloud(t)
+	player, err := NewPlayerClient(PlayerConfig{PlayerID: 1, CloudAddr: cloud.Addr(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 5*time.Second, "cloud-streamed frames", func() bool {
+		return player.Stats().Frames >= 5
+	})
+	cs := cloud.Stats()
+	if cs.FallbackPlayers != 1 {
+		t.Errorf("fallback players = %d", cs.FallbackPlayers)
+	}
+	if cs.FallbackBits == 0 {
+		t.Error("fallback egress not counted")
+	}
+}
+
+func TestFogOffloadsCloudEgress(t *testing.T) {
+	// With a supernode present, the cloud streams no fallback video at
+	// all: the fog carries it (the core claim of the paper).
+	cloud := startCloud(t)
+	startFog(t, cloud, "fog-1", 4)
+	player, err := NewPlayerClient(PlayerConfig{PlayerID: 2, CloudAddr: cloud.Addr(), Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 5*time.Second, "frames", func() bool { return player.Stats().Frames >= 5 })
+	if cs := cloud.Stats(); cs.FallbackBits != 0 || cs.FallbackPlayers != 0 {
+		t.Errorf("cloud streamed video despite available fog: %+v", cs)
+	}
+}
+
+func TestRateAdaptationSignalsSupernode(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 4)
+	_ = fog
+	// A top-rung game over a loopback link: the measured delivery rate is
+	// whatever the encoder emits, typically below the 1800 kbps target, so
+	// the controller sheds levels — the signal must reach the supernode
+	// without breaking the stream.
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 9, CloudAddr: cloud.Addr(),
+		Game:  game.Catalog()[4],
+		Adapt: true,
+		Seed:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 8*time.Second, "frames with adaptation", func() bool {
+		return player.Stats().Frames >= 20
+	})
+	// Whatever the adaptation decided, the stream must have stayed
+	// decodable through any level switches.
+	s := player.Stats()
+	if s.DecodeErrors > s.Frames/5 {
+		t.Errorf("stream broke across rate changes: %d errors / %d frames",
+			s.DecodeErrors, s.Frames)
+	}
+	if s.Level < 1 || s.Level > game.NumQualityLevels {
+		t.Errorf("level out of range: %d", s.Level)
+	}
+}
+
+func TestPlayerLeaveFreesSlotAndAvatar(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 1)
+	player, err := NewPlayerClient(PlayerConfig{PlayerID: 4, CloudAddr: cloud.Addr(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "attach", func() bool { return fog.Stats().Attached == 1 })
+	player.Close()
+	waitFor(t, 2*time.Second, "slot release", func() bool { return fog.Stats().Attached == 0 })
+	waitFor(t, 2*time.Second, "avatar despawn", func() bool { return cloud.Stats().Players == 0 })
+	// The slot is reusable.
+	p2, err := NewPlayerClient(PlayerConfig{PlayerID: 5, CloudAddr: cloud.Addr(), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	waitFor(t, 2*time.Second, "reattach", func() bool { return fog.Stats().Attached == 1 })
+}
+
+func TestUpdateStreamIsCompact(t *testing.T) {
+	// The point of CloudFog: the cloud's per-supernode update stream (Λ)
+	// is far smaller than the video the supernode streams out.
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 4)
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 6, CloudAddr: cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 5*time.Second, "traffic", func() bool {
+		return fog.Stats().VideoBits > 0 && cloud.Stats().UpdateBits > 0
+	})
+	time.Sleep(300 * time.Millisecond)
+	video := fog.Stats().VideoBits
+	update := cloud.Stats().UpdateBits
+	if update >= video {
+		t.Errorf("update stream (%d bits) not smaller than video (%d bits)", update, video)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startFog(t, cloud, "fog-1", 2)
+	if err := fog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplePlayersMultipleFogs(t *testing.T) {
+	cloud := startCloud(t)
+	fogA := startFog(t, cloud, "fog-a", 2)
+	fogB := startFog(t, cloud, "fog-b", 2)
+	var players []*PlayerClient
+	for i := int32(10); i < 14; i++ {
+		p, err := NewPlayerClient(PlayerConfig{
+			PlayerID: i, CloudAddr: cloud.Addr(),
+			ActionInterval: 20 * time.Millisecond, Seed: uint64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		players = append(players, p)
+	}
+	defer func() {
+		for _, p := range players {
+			p.Close()
+		}
+	}()
+	waitFor(t, 5*time.Second, "all attached", func() bool {
+		return fogA.Stats().Attached+fogB.Stats().Attached == 4
+	})
+	waitFor(t, 8*time.Second, "everyone streams", func() bool {
+		for _, p := range players {
+			if p.Stats().Frames < 5 {
+				return false
+			}
+		}
+		return true
+	})
+	if cloud.Stats().Players != 4 {
+		t.Errorf("cloud players = %d", cloud.Stats().Players)
+	}
+}
+
+func TestPlayerMigratesOnSupernodeFailure(t *testing.T) {
+	cloud := startCloud(t)
+	primary := startFog(t, cloud, "fog-primary", 4)
+	backup := startFog(t, cloud, "fog-backup", 4)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 21, CloudAddr: cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	// The player attaches to exactly one fog node; find which.
+	waitFor(t, 3*time.Second, "initial attach", func() bool {
+		return primary.Stats().Attached+backup.Stats().Attached == 1
+	})
+	serving, spare := primary, backup
+	if backup.Stats().Attached == 1 {
+		serving, spare = backup, primary
+	}
+	waitFor(t, 3*time.Second, "first frames", func() bool {
+		return player.Stats().Frames > 3
+	})
+
+	// Kill the serving supernode: the player must migrate to the spare
+	// and keep decoding frames (§3.2.2 — no game state transfers, the
+	// stream simply resumes).
+	serving.Close()
+	waitFor(t, 5*time.Second, "migration", func() bool {
+		return player.Stats().Migrations >= 1 && spare.Stats().Attached == 1
+	})
+	framesAtMigration := player.Stats().Frames
+	waitFor(t, 5*time.Second, "frames after migration", func() bool {
+		return player.Stats().Frames > framesAtMigration+5
+	})
+	s := player.Stats()
+	if s.DecodeErrors > s.Frames/5 {
+		t.Errorf("stream did not resume cleanly: %d errors / %d frames",
+			s.DecodeErrors, s.Frames)
+	}
+}
+
+func TestPlayerFallsBackToCloudWhenAllSupernodesGone(t *testing.T) {
+	cloud := startCloud(t)
+	only := startFog(t, cloud, "fog-only", 4)
+	player, err := NewPlayerClient(PlayerConfig{PlayerID: 22, CloudAddr: cloud.Addr(), Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 3*time.Second, "attach", func() bool { return only.Stats().Attached == 1 })
+	only.Close()
+	// The last candidate is the cloud itself: the migration lands there
+	// and frames keep flowing (at cloud expense).
+	waitFor(t, 5*time.Second, "cloud fallback migration", func() bool {
+		s := player.Stats()
+		return s.Migrations >= 1 && cloud.Stats().FallbackPlayers == 1
+	})
+	if err := player.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

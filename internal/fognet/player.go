@@ -1,0 +1,350 @@
+package fognet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/adaptation"
+	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/videocodec"
+	"cloudfog/internal/virtualworld"
+)
+
+// PlayerConfig parameterizes a PlayerClient.
+type PlayerConfig struct {
+	// PlayerID identifies the player.
+	PlayerID int32
+	// CloudAddr is the cloud server for admission and inputs.
+	CloudAddr string
+	// Game selects the title (Table 2 catalog); its default quality level
+	// starts the session.
+	Game game.Game
+	// ActionInterval is how often the client sends an input. Defaults to
+	// 100 ms.
+	ActionInterval time.Duration
+	// Adapt enables the receiver-driven rate adaptation of §3.3.
+	Adapt bool
+	// Seed drives the client's synthetic input generator.
+	Seed uint64
+}
+
+// PlayerClient is a thin client: it sends inputs to the cloud and receives
+// a video stream from a supernode.
+type PlayerClient struct {
+	cfg   PlayerConfig
+	cloud net.Conn
+	video net.Conn
+
+	mu         sync.Mutex
+	frames     int64
+	videoBits  int64
+	decodeErrs int64
+	lastTick   uint64
+	level      game.QualityLevel
+	switches   int
+	migrations int
+
+	// candidates is the cloud-provided supernode list, kept for the
+	// migration of §3.2.2: when the serving supernode fails, the player
+	// first tries its known candidates before giving up.
+	candidates []string
+
+	ctrl *adaptation.Controller
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPlayerClient joins the game: it registers with the cloud, probes the
+// candidate supernodes in order, and attaches to the first with capacity
+// (the sequential capacity probing of §3.2.2), falling back to the cloud's
+// own stream when no supernode accepts. If the serving supernode later
+// fails, the client migrates to another candidate automatically.
+func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
+	if cfg.ActionInterval <= 0 {
+		cfg.ActionInterval = 100 * time.Millisecond
+	}
+	if cfg.Game.ID == 0 {
+		cfg.Game = game.Catalog()[2]
+	}
+	cloud, err := net.Dial("tcp", cfg.CloudAddr)
+	if err != nil {
+		return nil, fmt.Errorf("player dial cloud: %w", err)
+	}
+	p := &PlayerClient{
+		cfg:   cfg,
+		cloud: cloud,
+		level: cfg.Game.DefaultQuality,
+		stop:  make(chan struct{}),
+	}
+	r := rng.New(cfg.Seed + uint64(cfg.PlayerID))
+	join := protocol.PlayerJoin{
+		PlayerID: cfg.PlayerID,
+		GameID:   uint8(cfg.Game.ID),
+		SpawnX:   r.Uniform(50, 400),
+		SpawnY:   r.Uniform(50, 400),
+	}
+	if err := protocol.WriteMessage(cloud, protocol.MsgPlayerJoin, join.Marshal()); err != nil {
+		cloud.Close()
+		return nil, fmt.Errorf("player join: %w", err)
+	}
+	typ, payload, err := protocol.ReadMessage(cloud)
+	if err != nil || typ != protocol.MsgJoinReply {
+		cloud.Close()
+		return nil, fmt.Errorf("player join reply: %v %w", typ, err)
+	}
+	reply, err := protocol.UnmarshalJoinReply(payload)
+	if err != nil || !reply.OK {
+		cloud.Close()
+		return nil, fmt.Errorf("player join rejected: %s %w", reply.Reason, err)
+	}
+
+	p.candidates = reply.SupernodeAddrs
+	if reply.CloudStreamAddr != "" {
+		// The cloud itself is the last-resort candidate (§3.2: players
+		// that cannot find nearby supernodes connect to the cloud).
+		p.candidates = append(p.candidates, reply.CloudStreamAddr)
+	}
+	video, err := p.attachToAny(p.candidates)
+	if err != nil {
+		cloud.Close()
+		return nil, err
+	}
+	p.video = video
+	if cfg.Adapt {
+		p.ctrl = adaptation.NewController(adaptation.Config{
+			Rho:      cfg.Game.ToleranceDegree,
+			MaxLevel: cfg.Game.DefaultQuality,
+			Debounce: 2,
+		}, cfg.Game.DefaultQuality)
+	}
+
+	p.wg.Add(2)
+	go p.actionLoop(r)
+	go p.videoLoop()
+	return p, nil
+}
+
+// attachToAny probes the candidate supernodes in order and attaches to the
+// first that accepts.
+func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		// Probe for capacity first.
+		if err := protocol.WriteMessage(conn, protocol.MsgProbe, nil); err != nil {
+			conn.Close()
+			continue
+		}
+		typ, payload, err := protocol.ReadMessage(conn)
+		if err != nil || typ != protocol.MsgProbeReply {
+			conn.Close()
+			continue
+		}
+		probe, err := protocol.UnmarshalProbeReply(payload)
+		if err != nil || probe.Available <= 0 {
+			conn.Close()
+			continue
+		}
+		attach := protocol.PlayerAttach{
+			PlayerID:     p.cfg.PlayerID,
+			QualityLevel: uint8(p.level),
+		}
+		if err := protocol.WriteMessage(conn, protocol.MsgPlayerAttach, attach.Marshal()); err != nil {
+			conn.Close()
+			continue
+		}
+		typ, payload, err = protocol.ReadMessage(conn)
+		if err != nil || typ != protocol.MsgAttachReply {
+			conn.Close()
+			continue
+		}
+		ack, err := protocol.UnmarshalAttachReply(payload)
+		if err != nil || !ack.OK {
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+	return nil, fmt.Errorf("fognet: no supernode accepted player %d (candidates: %d)",
+		p.cfg.PlayerID, len(addrs))
+}
+
+// Close leaves the game and waits for the client's goroutines.
+func (p *PlayerClient) Close() error {
+	select {
+	case <-p.stop:
+		return nil
+	default:
+	}
+	close(p.stop)
+	// Best-effort goodbyes; the connections close regardless.
+	p.mu.Lock()
+	video := p.video
+	p.mu.Unlock()
+	protocol.WriteMessage(p.cloud, protocol.MsgBye, nil)
+	protocol.WriteMessage(video, protocol.MsgBye, nil)
+	p.cloud.Close()
+	video.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// PlayerStats reports client-side counters.
+type PlayerStats struct {
+	// Frames is the number of decoded video frames.
+	Frames int64
+	// VideoBits is the received video volume.
+	VideoBits int64
+	// DecodeErrors counts undecodable frames.
+	DecodeErrors int64
+	// LastTick is the newest world tick seen in the video.
+	LastTick uint64
+	// Level is the current quality level.
+	Level game.QualityLevel
+	// RateSwitches counts receiver-driven level changes.
+	RateSwitches int
+	// Migrations counts reconnections to a new supernode after failures.
+	Migrations int
+}
+
+// Stats snapshots the counters.
+func (p *PlayerClient) Stats() PlayerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PlayerStats{
+		Frames:       p.frames,
+		VideoBits:    p.videoBits,
+		DecodeErrors: p.decodeErrs,
+		LastTick:     p.lastTick,
+		Level:        p.level,
+		RateSwitches: p.switches,
+		Migrations:   p.migrations,
+	}
+}
+
+// actionLoop streams synthetic inputs to the cloud: the player wanders
+// between random waypoints.
+func (p *PlayerClient) actionLoop(r *rng.Rand) {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.ActionInterval)
+	defer ticker.Stop()
+	tx, ty := r.Uniform(0, 400), r.Uniform(0, 400)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			if r.Bool(0.1) {
+				tx, ty = r.Uniform(0, 400), r.Uniform(0, 400)
+			}
+			msg := protocol.ActionMsg{Action: virtualworld.Action{
+				Player: int(p.cfg.PlayerID), Kind: virtualworld.ActMove,
+				TargetX: tx, TargetY: ty,
+			}}
+			if protocol.WriteMessage(p.cloud, protocol.MsgAction, msg.Marshal()) != nil {
+				return
+			}
+		}
+	}
+}
+
+// videoLoop receives and decodes the video stream, and drives the
+// receiver-driven adaptation: the observed delivery rate feeds the buffer
+// model, and level switches go back to the supernode as RateChange.
+func (p *PlayerClient) videoLoop() {
+	defer p.wg.Done()
+	var dec videocodec.Decoder
+	start := time.Now()
+	var windowBits int64
+	windowStart := start
+	p.mu.Lock()
+	conn := p.video
+	p.mu.Unlock()
+	for {
+		typ, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			// The serving supernode failed or left: migrate to another
+			// candidate (§3.2.2). No game state transfers — the cloud
+			// holds it all — so the stream resumes with a fresh decoder.
+			next, ok := p.migrate(&dec)
+			if !ok {
+				return
+			}
+			conn = next
+			continue
+		}
+		if typ != protocol.MsgVideoFrame {
+			continue
+		}
+		ef, err := videocodec.UnmarshalFrame(payload)
+		if err != nil {
+			p.mu.Lock()
+			p.decodeErrs++
+			p.mu.Unlock()
+			continue
+		}
+		frame, err := dec.Decode(ef)
+		p.mu.Lock()
+		if err != nil {
+			p.decodeErrs++
+		} else {
+			p.frames++
+			p.videoBits += int64(ef.SizeBits())
+			if frame.Tick > p.lastTick {
+				p.lastTick = frame.Tick
+			}
+		}
+		p.mu.Unlock()
+		windowBits += int64(ef.SizeBits())
+
+		// Receiver-driven adaptation on ~250 ms windows.
+		if p.ctrl != nil {
+			if win := time.Since(windowStart); win >= 250*time.Millisecond {
+				kbps := float64(windowBits) / win.Seconds() / 1000
+				now := time.Since(start).Seconds()
+				decision := p.ctrl.Observe(now, kbps)
+				windowBits, windowStart = 0, time.Now()
+				if decision != adaptation.Hold {
+					rc := protocol.RateChange{QualityLevel: uint8(p.ctrl.Level())}
+					if protocol.WriteMessage(conn, protocol.MsgRateChange, rc.Marshal()) != nil {
+						return
+					}
+					p.mu.Lock()
+					p.level = p.ctrl.Level()
+					p.switches++
+					p.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// migrate reconnects the video session to another candidate supernode
+// after the serving one failed, returning the new connection. It reports
+// false when the client is closing or no candidate accepts.
+func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
+	select {
+	case <-p.stop:
+		return nil, false
+	default:
+	}
+	conn, err := p.attachToAny(p.candidates)
+	if err != nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	old := p.video
+	p.video = conn
+	p.migrations++
+	p.mu.Unlock()
+	old.Close()
+	*dec = videocodec.Decoder{} // the new stream starts with an I-frame
+	return conn, true
+}

@@ -1,0 +1,97 @@
+package fognet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/render"
+	"cloudfog/internal/videocodec"
+	"cloudfog/internal/virtualworld"
+)
+
+// snapshotSource yields the world state a video session renders from: a
+// fog node serves its replica, the cloud serves the authoritative world
+// (the fallback path for players without a nearby supernode).
+type snapshotSource interface {
+	currentSnapshot() virtualworld.Snapshot
+}
+
+// streamCounters receives the session's egress accounting.
+type streamCounters interface {
+	addFrame(bits int)
+}
+
+// runVideoSession streams rendered, encoded frames for one attached player
+// until the connection breaks, a Bye arrives, or stop closes. It handles
+// the receiver-driven RateChange messages of §3.3. The caller owns conn
+// and the attach handshake; wg tracks the internal reader goroutine.
+func runVideoSession(
+	conn net.Conn,
+	playerID int32,
+	level game.QualityLevel,
+	frameInterval time.Duration,
+	source snapshotSource,
+	counters streamCounters,
+	stop <-chan struct{},
+	wg *sync.WaitGroup,
+) {
+	if level < 1 || level > game.NumQualityLevels {
+		level = 3
+	}
+	// Rate-change messages arrive asynchronously with the frame clock.
+	rateCh := make(chan game.QualityLevel, 1)
+	readDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(readDone)
+		for {
+			typ, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case protocol.MsgRateChange:
+				rc, rerr := protocol.UnmarshalRateChange(payload)
+				if rerr == nil && rc.QualityLevel >= 1 && rc.QualityLevel <= game.NumQualityLevels {
+					select {
+					case rateCh <- game.QualityLevel(rc.QualityLevel):
+					default:
+					}
+				}
+			case protocol.MsgBye:
+				return
+			}
+		}
+	}()
+
+	renderer := render.NewRenderer(render.ResolutionForLevel(int(level)))
+	encoder := videocodec.NewEncoder(game.MustQuality(level).BitrateKbps)
+	ticker := time.NewTicker(frameInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-readDone:
+			return
+		case newLevel := <-rateCh:
+			if newLevel != level {
+				level = newLevel
+				renderer = render.NewRenderer(render.ResolutionForLevel(int(level)))
+				encoder = videocodec.NewEncoder(game.MustQuality(level).BitrateKbps)
+			}
+		case <-ticker.C:
+			snap := source.currentSnapshot()
+			frame := renderer.Render(snap, render.ViewportFor(snap, int(playerID)))
+			ef := encoder.Encode(frame)
+			if protocol.WriteMessage(conn, protocol.MsgVideoFrame, ef.Marshal()) != nil {
+				return
+			}
+			counters.addFrame(ef.SizeBits())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package geo models the two-dimensional geography underlying the CloudFog
+// network: node coordinates on a continental plane, distances, and placement
+// strategies for players, supernodes, and datacenters.
+//
+// The paper determines node positions from IP-derived coordinates and
+// computes physical distance between supernode candidates and players. We
+// reproduce that with an explicit continental plane (roughly the contiguous
+// US: 4,500 km x 2,800 km) with population clustered around metropolitan
+// centers, which gives the same qualitative property the paper relies on:
+// players are dense around a limited set of hot spots while datacenters are
+// few and far between.
+package geo
+
+import (
+	"math"
+
+	"cloudfog/internal/rng"
+)
+
+// Plane dimensions in kilometers, approximating the contiguous United
+// States, the region the paper's coverage study (Choy et al.) measures.
+const (
+	PlaneWidthKm  = 4500.0
+	PlaneHeightKm = 2800.0
+)
+
+// Point is a location on the continental plane, in kilometers.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Distance returns the Euclidean distance between two points in kilometers.
+func Distance(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Clamp returns p with both coordinates clamped onto the plane.
+func Clamp(p Point) Point {
+	return Point{
+		X: math.Max(0, math.Min(PlaneWidthKm, p.X)),
+		Y: math.Max(0, math.Min(PlaneHeightKm, p.Y)),
+	}
+}
+
+// Metro is a population center around which players cluster.
+type Metro struct {
+	Center Point
+	// Weight is the relative share of population in this metro.
+	Weight float64
+	// SpreadKm is the standard deviation of the player scatter.
+	SpreadKm float64
+}
+
+// DefaultMetros returns a set of metropolitan areas loosely patterned on the
+// large US population centers. The exact cities do not matter; what matters
+// is a multi-modal population density so that "nearby supernodes" exist for
+// most players while a handful of datacenters cannot be near everyone.
+func DefaultMetros() []Metro {
+	return []Metro{
+		{Center: Point{X: 4100, Y: 1900}, Weight: 0.20, SpreadKm: 150}, // northeast corridor
+		{Center: Point{X: 3700, Y: 1250}, Weight: 0.12, SpreadKm: 140}, // southeast
+		{Center: Point{X: 3000, Y: 1900}, Weight: 0.13, SpreadKm: 150}, // great lakes
+		{Center: Point{X: 2500, Y: 1000}, Weight: 0.12, SpreadKm: 160}, // texas
+		{Center: Point{X: 450, Y: 1100}, Weight: 0.15, SpreadKm: 150},  // southwest coast
+		{Center: Point{X: 350, Y: 2200}, Weight: 0.09, SpreadKm: 130},  // northwest coast
+		{Center: Point{X: 1600, Y: 1700}, Weight: 0.07, SpreadKm: 200}, // mountain
+		{Center: Point{X: 2900, Y: 1450}, Weight: 0.12, SpreadKm: 220}, // midsouth
+	}
+}
+
+// Placer draws locations from a metro-clustered population density.
+type Placer struct {
+	metros  []Metro
+	sampler *rng.Weighted
+}
+
+// NewPlacer builds a Placer over the given metros. If metros is empty,
+// DefaultMetros is used.
+func NewPlacer(metros []Metro) *Placer {
+	if len(metros) == 0 {
+		metros = DefaultMetros()
+	}
+	values := make([]float64, len(metros))
+	weights := make([]float64, len(metros))
+	for i, m := range metros {
+		values[i] = float64(i)
+		weights[i] = m.Weight
+	}
+	return &Placer{metros: metros, sampler: rng.NewWeighted(values, weights)}
+}
+
+// PlacePlayer samples a player location: a metro chosen by weight, then
+// Gaussian scatter around its center.
+func (p *Placer) PlacePlayer(r *rng.Rand) Point {
+	m := p.metros[int(p.sampler.Sample(r))]
+	return Clamp(Point{
+		X: r.Normal(m.Center.X, m.SpreadKm),
+		Y: r.Normal(m.Center.Y, m.SpreadKm),
+	})
+}
+
+// PlaceUniform samples a location uniformly over the plane. Used for the
+// "randomly distributed servers" of the CDN baselines.
+func (p *Placer) PlaceUniform(r *rng.Rand) Point {
+	return Point{
+		X: r.Uniform(0, PlaneWidthKm),
+		Y: r.Uniform(0, PlaneHeightKm),
+	}
+}
+
+// DatacenterSites returns up to n datacenter locations drawn from a fixed
+// site list patterned on real cloud regions (few, spread out). If n exceeds
+// the site list, the remainder are evenly spaced grid fill-ins, modeling the
+// paper's "deploy more datacenters" sweep up to 25.
+func DatacenterSites(n int) []Point {
+	fixed := []Point{
+		{X: 4000, Y: 1950}, // us-east (N. Virginia-ish)
+		{X: 700, Y: 1500},  // us-west-1
+		{X: 400, Y: 2250},  // us-west-2
+		{X: 2900, Y: 1800}, // us-central
+		{X: 2550, Y: 950},  // us-south
+		{X: 3650, Y: 1200}, // us-southeast
+		{X: 1600, Y: 1650}, // mountain
+		{X: 3400, Y: 2100}, // great lakes
+	}
+	if n <= len(fixed) {
+		return append([]Point(nil), fixed[:n]...)
+	}
+	sites := append([]Point(nil), fixed...)
+	// Fill the remainder on a jitter-free grid so added datacenters always
+	// improve worst-case proximity (the paper's diminishing-returns curve).
+	need := n - len(fixed)
+	cols := int(math.Ceil(math.Sqrt(float64(need) * PlaneWidthKm / PlaneHeightKm)))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := int(math.Ceil(float64(need) / float64(cols)))
+	for i := 0; len(sites) < n; i++ {
+		row := i / cols
+		col := i % cols
+		if row >= rows {
+			break
+		}
+		sites = append(sites, Point{
+			X: (float64(col) + 0.5) * PlaneWidthKm / float64(cols),
+			Y: (float64(row) + 0.5) * PlaneHeightKm / float64(rows),
+		})
+	}
+	return sites[:n]
+}
+
+// Nearest returns the index of the point in candidates closest to p, and
+// the distance to it. It returns (-1, +Inf) when candidates is empty.
+func Nearest(p Point, candidates []Point) (int, float64) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, c := range candidates {
+		if d := Distance(p, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudfog/internal/rng"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"horizontal", Point{0, 0}, Point{3, 0}, 3},
+		{"vertical", Point{0, 0}, Point{0, 4}, 4},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := Clamp(Point{-100, PlaneHeightKm + 500})
+	if p.X != 0 || p.Y != PlaneHeightKm {
+		t.Errorf("Clamp = %+v", p)
+	}
+	q := Clamp(Point{100, 200})
+	if q.X != 100 || q.Y != 200 {
+		t.Errorf("Clamp moved interior point: %+v", q)
+	}
+}
+
+func TestDefaultMetrosWeightsSum(t *testing.T) {
+	var sum float64
+	for _, m := range DefaultMetros() {
+		if m.Weight <= 0 || m.SpreadKm <= 0 {
+			t.Errorf("invalid metro %+v", m)
+		}
+		sum += m.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("metro weights sum to %v, want 1", sum)
+	}
+}
+
+func TestPlacerOnPlane(t *testing.T) {
+	p := NewPlacer(nil)
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		pt := p.PlacePlayer(r)
+		if pt.X < 0 || pt.X > PlaneWidthKm || pt.Y < 0 || pt.Y > PlaneHeightKm {
+			t.Fatalf("player placed off plane: %+v", pt)
+		}
+		u := p.PlaceUniform(r)
+		if u.X < 0 || u.X > PlaneWidthKm || u.Y < 0 || u.Y > PlaneHeightKm {
+			t.Fatalf("uniform placed off plane: %+v", u)
+		}
+	}
+}
+
+func TestPlacerClusters(t *testing.T) {
+	// Players must be denser near metro centers than uniform: the mean
+	// distance to the nearest metro center should be well below uniform's.
+	p := NewPlacer(nil)
+	r := rng.New(2)
+	centers := make([]Point, 0)
+	for _, m := range DefaultMetros() {
+		centers = append(centers, m.Center)
+	}
+	var sumPlayer, sumUniform float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		_, d := Nearest(p.PlacePlayer(r), centers)
+		sumPlayer += d
+		_, du := Nearest(p.PlaceUniform(r), centers)
+		sumUniform += du
+	}
+	if sumPlayer/n >= sumUniform/n {
+		t.Errorf("player placement not clustered: mean %v vs uniform %v", sumPlayer/n, sumUniform/n)
+	}
+}
+
+func TestDatacenterSites(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 9, 15, 25, 40} {
+		sites := DatacenterSites(n)
+		if len(sites) != n {
+			t.Fatalf("DatacenterSites(%d) returned %d sites", n, len(sites))
+		}
+		for _, s := range sites {
+			if s.X < 0 || s.X > PlaneWidthKm || s.Y < 0 || s.Y > PlaneHeightKm {
+				t.Fatalf("site off plane: %+v", s)
+			}
+		}
+	}
+}
+
+func TestDatacenterSitesPrefixStable(t *testing.T) {
+	// Adding datacenters must not move existing ones (the Fig. 4 sweep
+	// assumes monotone improvement).
+	a := DatacenterSites(5)
+	b := DatacenterSites(25)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d moved: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDatacenterCoverageImproves(t *testing.T) {
+	// More datacenters => the worst-case player distance shrinks (or stays).
+	p := NewPlacer(nil)
+	r := rng.New(3)
+	players := make([]Point, 500)
+	for i := range players {
+		players[i] = p.PlacePlayer(r)
+	}
+	meanNearest := func(n int) float64 {
+		sites := DatacenterSites(n)
+		var sum float64
+		for _, pl := range players {
+			_, d := Nearest(pl, sites)
+			sum += d
+		}
+		return sum / float64(len(players))
+	}
+	prev := meanNearest(1)
+	for _, n := range []int{5, 10, 25} {
+		cur := meanNearest(n)
+		if cur > prev+1e-9 {
+			t.Errorf("mean nearest distance rose from %v to %v at n=%d", prev, cur, n)
+		}
+		prev = cur
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cands := []Point{{0, 0}, {10, 0}, {5, 5}}
+	i, d := Nearest(Point{9, 1}, cands)
+	if i != 1 {
+		t.Errorf("Nearest index = %d", i)
+	}
+	if math.Abs(d-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Nearest distance = %v", d)
+	}
+	i, d = Nearest(Point{1, 1}, nil)
+	if i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest of empty = %d, %v", i, d)
+	}
+}

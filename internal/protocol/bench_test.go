@@ -1,0 +1,44 @@
+package protocol
+
+import (
+	"testing"
+
+	"cloudfog/internal/virtualworld"
+)
+
+// BenchmarkUpdateBatchMarshal measures encoding one 100-delta update batch
+// — the cloud's per-supernode per-tick serialization cost.
+func BenchmarkUpdateBatchMarshal(b *testing.B) {
+	batch := UpdateBatch{Tick: 1}
+	for i := 0; i < 100; i++ {
+		batch.Deltas = append(batch.Deltas, virtualworld.Delta{
+			ID: virtualworld.EntityID(i + 1),
+			Entity: virtualworld.Entity{
+				ID: virtualworld.EntityID(i + 1), Kind: virtualworld.KindAvatar,
+				Owner: i, X: float64(i), Y: float64(i), HP: 100, Version: uint32(i),
+			},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Marshal()
+	}
+}
+
+// BenchmarkUpdateBatchUnmarshal measures the supernode-side decode cost.
+func BenchmarkUpdateBatchUnmarshal(b *testing.B) {
+	batch := UpdateBatch{Tick: 1}
+	for i := 0; i < 100; i++ {
+		batch.Deltas = append(batch.Deltas, virtualworld.Delta{
+			ID:     virtualworld.EntityID(i + 1),
+			Entity: virtualworld.Entity{ID: virtualworld.EntityID(i + 1), Version: 1},
+		})
+	}
+	buf := batch.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalUpdateBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

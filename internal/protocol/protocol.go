@@ -1,0 +1,577 @@
+// Package protocol defines the wire protocol of the CloudFog prototype:
+// the messages exchanged between the cloud (authoritative game state), the
+// fog (supernodes rendering and streaming video), and players (thin
+// clients), exactly the three-tier interaction of Fig. 1 of the paper:
+//
+//	player -> cloud      user input (world actions)
+//	player -> supernode  packets of view-dependent work, rate changes
+//	cloud  -> supernode  world update stream (the Λ bandwidth)
+//	supernode -> player  encoded game video
+//
+// Messages are length-prefixed binary frames:
+//
+//	uint32 payload length | uint8 message type | payload
+//
+// Encoding is hand-rolled big-endian binary (stdlib only, no reflection on
+// the hot paths). Every message type has Marshal/Unmarshal pairs and a
+// round-trip test.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cloudfog/internal/virtualworld"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgSupernodeHello registers a supernode with the cloud.
+	MsgSupernodeHello MsgType = iota + 1
+	// MsgSupernodeWelcome acknowledges registration with a world seed.
+	MsgSupernodeWelcome
+	// MsgPlayerJoin asks the cloud to admit a player.
+	MsgPlayerJoin
+	// MsgJoinReply returns the player's serving supernode address.
+	MsgJoinReply
+	// MsgAction carries a player input to the cloud.
+	MsgAction
+	// MsgUpdateBatch carries one tick's world deltas to a supernode.
+	MsgUpdateBatch
+	// MsgPlayerAttach attaches a player session to a supernode.
+	MsgPlayerAttach
+	// MsgAttachReply acknowledges the attach.
+	MsgAttachReply
+	// MsgVideoFrame carries one encoded video frame to a player.
+	MsgVideoFrame
+	// MsgRateChange asks the supernode for a different quality level —
+	// the receiver-driven adaptation signal of §3.3.
+	MsgRateChange
+	// MsgProbe asks a supernode whether it has available capacity.
+	MsgProbe
+	// MsgProbeReply answers a capacity probe.
+	MsgProbeReply
+	// MsgBye ends a session gracefully.
+	MsgBye
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgSupernodeHello:
+		return "supernode-hello"
+	case MsgSupernodeWelcome:
+		return "supernode-welcome"
+	case MsgPlayerJoin:
+		return "player-join"
+	case MsgJoinReply:
+		return "join-reply"
+	case MsgAction:
+		return "action"
+	case MsgUpdateBatch:
+		return "update-batch"
+	case MsgPlayerAttach:
+		return "player-attach"
+	case MsgAttachReply:
+		return "attach-reply"
+	case MsgVideoFrame:
+		return "video-frame"
+	case MsgRateChange:
+		return "rate-change"
+	case MsgProbe:
+		return "probe"
+	case MsgProbeReply:
+		return "probe-reply"
+	case MsgBye:
+		return "bye"
+	default:
+		return "unknown"
+	}
+}
+
+// Protocol limits.
+const (
+	// MaxPayload bounds a single message (16 MiB), protecting receivers
+	// from hostile length prefixes.
+	MaxPayload = 16 << 20
+	headerLen  = 5
+)
+
+// Errors.
+var (
+	ErrTooLarge  = errors.New("protocol: payload exceeds MaxPayload")
+	ErrTruncated = errors.New("protocol: truncated payload")
+)
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (MsgType, []byte, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxPayload {
+		return 0, nil, ErrTooLarge
+	}
+	t := MsgType(hdr[4])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("read payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+// --- binary helpers ---------------------------------------------------------
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) str(s string) {
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("protocol: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// --- entity / delta encoding -------------------------------------------------
+
+func putEntity(w *writer, e virtualworld.Entity) {
+	w.u32(uint32(e.ID))
+	w.u8(uint8(e.Kind))
+	w.i32(int32(e.Owner))
+	w.f64(e.X)
+	w.f64(e.Y)
+	w.f64(e.Facing)
+	w.u16(uint16(e.HP))
+	w.u8(e.State)
+	w.u32(e.Version)
+}
+
+func getEntity(r *reader) virtualworld.Entity {
+	return virtualworld.Entity{
+		ID:      virtualworld.EntityID(r.u32()),
+		Kind:    virtualworld.EntityKind(r.u8()),
+		Owner:   int(r.i32()),
+		X:       r.f64(),
+		Y:       r.f64(),
+		Facing:  r.f64(),
+		HP:      int16(r.u16()),
+		State:   r.u8(),
+		Version: r.u32(),
+	}
+}
+
+// EntityWireBytes is the encoded size of one entity (for Λ accounting).
+const EntityWireBytes = 4 + 1 + 4 + 8 + 8 + 8 + 2 + 1 + 4
+
+// --- messages ---------------------------------------------------------------
+
+// SupernodeHello registers a supernode.
+type SupernodeHello struct {
+	// Name is a human-readable supernode identifier.
+	Name string
+	// Capacity is the advertised max concurrent players.
+	Capacity int
+	// StreamAddr is where players should connect for video.
+	StreamAddr string
+}
+
+// Marshal encodes the message.
+func (m SupernodeHello) Marshal() []byte {
+	w := &writer{}
+	w.str(m.Name)
+	w.u16(uint16(m.Capacity))
+	w.str(m.StreamAddr)
+	return w.buf
+}
+
+// UnmarshalSupernodeHello decodes the message.
+func UnmarshalSupernodeHello(buf []byte) (SupernodeHello, error) {
+	r := &reader{buf: buf}
+	m := SupernodeHello{Name: r.str(), Capacity: int(r.u16())}
+	m.StreamAddr = r.str()
+	return m, r.finish()
+}
+
+// SupernodeWelcome seeds a newly-registered supernode's replica.
+type SupernodeWelcome struct {
+	// SupernodeID is the cloud-assigned identifier.
+	SupernodeID uint32
+	// Snapshot is the full world state to seed from.
+	Snapshot virtualworld.Snapshot
+}
+
+// Marshal encodes the message.
+func (m SupernodeWelcome) Marshal() []byte {
+	w := &writer{}
+	w.u32(m.SupernodeID)
+	w.u64(m.Snapshot.Tick)
+	w.f64(m.Snapshot.Width)
+	w.f64(m.Snapshot.Height)
+	w.u32(uint32(len(m.Snapshot.Entities)))
+	for _, e := range m.Snapshot.Entities {
+		putEntity(w, e)
+	}
+	return w.buf
+}
+
+// UnmarshalSupernodeWelcome decodes the message.
+func UnmarshalSupernodeWelcome(buf []byte) (SupernodeWelcome, error) {
+	r := &reader{buf: buf}
+	m := SupernodeWelcome{SupernodeID: r.u32()}
+	m.Snapshot.Tick = r.u64()
+	m.Snapshot.Width = r.f64()
+	m.Snapshot.Height = r.f64()
+	n := int(r.u32())
+	if n > MaxPayload/EntityWireBytes {
+		return m, ErrTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Snapshot.Entities = append(m.Snapshot.Entities, getEntity(r))
+	}
+	return m, r.finish()
+}
+
+// PlayerJoin admits a player to the game.
+type PlayerJoin struct {
+	// PlayerID identifies the player.
+	PlayerID int32
+	// GameID selects the title (Table 2 catalog).
+	GameID uint8
+	// SpawnX, SpawnY is the requested spawn position.
+	SpawnX, SpawnY float64
+}
+
+// Marshal encodes the message.
+func (m PlayerJoin) Marshal() []byte {
+	w := &writer{}
+	w.i32(m.PlayerID)
+	w.u8(m.GameID)
+	w.f64(m.SpawnX)
+	w.f64(m.SpawnY)
+	return w.buf
+}
+
+// UnmarshalPlayerJoin decodes the message.
+func UnmarshalPlayerJoin(buf []byte) (PlayerJoin, error) {
+	r := &reader{buf: buf}
+	m := PlayerJoin{PlayerID: r.i32(), GameID: r.u8(), SpawnX: r.f64(), SpawnY: r.f64()}
+	return m, r.finish()
+}
+
+// JoinReply tells the player where to stream from.
+type JoinReply struct {
+	// OK reports admission.
+	OK bool
+	// SupernodeAddrs are candidate streaming addresses, best first — the
+	// cloud's candidate list of §3.2.
+	SupernodeAddrs []string
+	// CloudStreamAddr is the cloud's own streaming endpoint, the fallback
+	// for players that no supernode accepts ("normal nodes that cannot
+	// find nearby supernodes directly connect to the cloud").
+	CloudStreamAddr string
+	// Reason explains a rejection.
+	Reason string
+}
+
+// Marshal encodes the message.
+func (m JoinReply) Marshal() []byte {
+	w := &writer{}
+	if m.OK {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u16(uint16(len(m.SupernodeAddrs)))
+	for _, a := range m.SupernodeAddrs {
+		w.str(a)
+	}
+	w.str(m.CloudStreamAddr)
+	w.str(m.Reason)
+	return w.buf
+}
+
+// UnmarshalJoinReply decodes the message.
+func UnmarshalJoinReply(buf []byte) (JoinReply, error) {
+	r := &reader{buf: buf}
+	m := JoinReply{OK: r.u8() == 1}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		m.SupernodeAddrs = append(m.SupernodeAddrs, r.str())
+	}
+	m.CloudStreamAddr = r.str()
+	m.Reason = r.str()
+	return m, r.finish()
+}
+
+// ActionMsg carries one player input.
+type ActionMsg struct {
+	// Action is the world action.
+	Action virtualworld.Action
+}
+
+// Marshal encodes the message.
+func (m ActionMsg) Marshal() []byte {
+	w := &writer{}
+	w.i32(int32(m.Action.Player))
+	w.u8(uint8(m.Action.Kind))
+	w.f64(m.Action.TargetX)
+	w.f64(m.Action.TargetY)
+	w.u32(uint32(m.Action.TargetEntity))
+	w.u8(m.Action.StateTag)
+	return w.buf
+}
+
+// UnmarshalActionMsg decodes the message.
+func UnmarshalActionMsg(buf []byte) (ActionMsg, error) {
+	r := &reader{buf: buf}
+	m := ActionMsg{Action: virtualworld.Action{
+		Player:       int(r.i32()),
+		Kind:         virtualworld.ActionKind(r.u8()),
+		TargetX:      r.f64(),
+		TargetY:      r.f64(),
+		TargetEntity: virtualworld.EntityID(r.u32()),
+		StateTag:     r.u8(),
+	}}
+	return m, r.finish()
+}
+
+// UpdateBatch carries one tick's deltas — the Λ update stream.
+type UpdateBatch struct {
+	// Tick is the world tick the deltas belong to.
+	Tick uint64
+	// Deltas are the changed entities.
+	Deltas []virtualworld.Delta
+}
+
+// Marshal encodes the message.
+func (m UpdateBatch) Marshal() []byte {
+	w := &writer{}
+	w.u64(m.Tick)
+	w.u32(uint32(len(m.Deltas)))
+	for _, d := range m.Deltas {
+		w.u32(uint32(d.ID))
+		if d.Removed {
+			w.u8(1)
+		} else {
+			w.u8(0)
+			putEntity(w, d.Entity)
+		}
+	}
+	return w.buf
+}
+
+// UnmarshalUpdateBatch decodes the message.
+func UnmarshalUpdateBatch(buf []byte) (UpdateBatch, error) {
+	r := &reader{buf: buf}
+	m := UpdateBatch{Tick: r.u64()}
+	n := int(r.u32())
+	if n > MaxPayload/5 {
+		return m, ErrTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		id := virtualworld.EntityID(r.u32())
+		if r.u8() == 1 {
+			m.Deltas = append(m.Deltas, virtualworld.Delta{ID: id, Removed: true})
+		} else {
+			m.Deltas = append(m.Deltas, virtualworld.Delta{ID: id, Entity: getEntity(r)})
+		}
+	}
+	return m, r.finish()
+}
+
+// SizeBits returns the encoded size of the batch in bits (Λ accounting).
+func (m UpdateBatch) SizeBits() int { return len(m.Marshal()) * 8 }
+
+// PlayerAttach attaches a player's video session to a supernode.
+type PlayerAttach struct {
+	// PlayerID identifies the player.
+	PlayerID int32
+	// QualityLevel is the initial Table 2 quality level (1..5).
+	QualityLevel uint8
+}
+
+// Marshal encodes the message.
+func (m PlayerAttach) Marshal() []byte {
+	w := &writer{}
+	w.i32(m.PlayerID)
+	w.u8(m.QualityLevel)
+	return w.buf
+}
+
+// UnmarshalPlayerAttach decodes the message.
+func UnmarshalPlayerAttach(buf []byte) (PlayerAttach, error) {
+	r := &reader{buf: buf}
+	m := PlayerAttach{PlayerID: r.i32(), QualityLevel: r.u8()}
+	return m, r.finish()
+}
+
+// AttachReply acknowledges a video attach.
+type AttachReply struct {
+	// OK reports acceptance (false when the supernode is at capacity —
+	// the sequential capacity probing of §3.2.2 moves on).
+	OK bool
+	// Reason explains a rejection.
+	Reason string
+}
+
+// Marshal encodes the message.
+func (m AttachReply) Marshal() []byte {
+	w := &writer{}
+	if m.OK {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.str(m.Reason)
+	return w.buf
+}
+
+// UnmarshalAttachReply decodes the message.
+func UnmarshalAttachReply(buf []byte) (AttachReply, error) {
+	r := &reader{buf: buf}
+	m := AttachReply{OK: r.u8() == 1}
+	m.Reason = r.str()
+	return m, r.finish()
+}
+
+// RateChange is the receiver-driven quality switch.
+type RateChange struct {
+	// QualityLevel is the requested Table 2 level (1..5).
+	QualityLevel uint8
+}
+
+// Marshal encodes the message.
+func (m RateChange) Marshal() []byte { return []byte{m.QualityLevel} }
+
+// UnmarshalRateChange decodes the message.
+func UnmarshalRateChange(buf []byte) (RateChange, error) {
+	r := &reader{buf: buf}
+	m := RateChange{QualityLevel: r.u8()}
+	return m, r.finish()
+}
+
+// ProbeReply answers a capacity probe.
+type ProbeReply struct {
+	// Available is the number of free player slots.
+	Available int
+}
+
+// Marshal encodes the message.
+func (m ProbeReply) Marshal() []byte {
+	w := &writer{}
+	w.u16(uint16(m.Available))
+	return w.buf
+}
+
+// UnmarshalProbeReply decodes the message.
+func UnmarshalProbeReply(buf []byte) (ProbeReply, error) {
+	r := &reader{buf: buf}
+	m := ProbeReply{Available: int(r.u16())}
+	return m, r.finish()
+}

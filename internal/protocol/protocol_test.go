@@ -1,0 +1,254 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"cloudfog/internal/virtualworld"
+)
+
+func TestFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteMessage(&buf, MsgAction, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAction || !bytes.Equal(got, payload) {
+		t.Errorf("read %v %v", typ, got)
+	}
+}
+
+func TestFramingEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgBye, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadMessage(&buf)
+	if err != nil || typ != MsgBye || len(got) != 0 {
+		t.Errorf("empty round trip: %v %v %v", typ, got, err)
+	}
+}
+
+func TestFramingMultipleMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteMessage(&buf, MsgProbe, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		_, got, err := ReadMessage(&buf)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("message %d: %v %v", i, got, err)
+		}
+	}
+	if _, _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("post-stream read err = %v", err)
+	}
+}
+
+func TestFramingRejectsOversize(t *testing.T) {
+	if err := WriteMessage(io.Discard, MsgAction, make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize write err = %v", err)
+	}
+	// A hostile length prefix must be rejected without allocating.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgAction)}
+	if _, _, err := ReadMessage(bytes.NewReader(hostile)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("hostile length err = %v", err)
+	}
+}
+
+func TestFramingTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, MsgAction, []byte{1, 2, 3})
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for typ := MsgSupernodeHello; typ <= MsgBye; typ++ {
+		if typ.String() == "unknown" {
+			t.Errorf("type %d unnamed", typ)
+		}
+	}
+	if MsgType(200).String() != "unknown" {
+		t.Error("unknown type misnamed")
+	}
+}
+
+func TestSupernodeHelloRoundTrip(t *testing.T) {
+	m := SupernodeHello{Name: "fog-3", Capacity: 17, StreamAddr: "127.0.0.1:9000"}
+	got, err := UnmarshalSupernodeHello(m.Marshal())
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestSupernodeWelcomeRoundTrip(t *testing.T) {
+	w := virtualworld.New(300, 300)
+	w.SpawnAvatar(1, 10, 20)
+	w.SpawnNPC(100, 150)
+	w.SpawnItem(200, 250)
+	m := SupernodeWelcome{SupernodeID: 42, Snapshot: w.Snapshot()}
+	got, err := UnmarshalSupernodeWelcome(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SupernodeID != 42 || !got.Snapshot.Equal(m.Snapshot) ||
+		got.Snapshot.Width != 300 || got.Snapshot.Tick != m.Snapshot.Tick {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestPlayerJoinRoundTrip(t *testing.T) {
+	m := PlayerJoin{PlayerID: -7, GameID: 3, SpawnX: 12.5, SpawnY: 700.25}
+	got, err := UnmarshalPlayerJoin(m.Marshal())
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestJoinReplyRoundTrip(t *testing.T) {
+	m := JoinReply{OK: true, SupernodeAddrs: []string{"a:1", "b:2", "c:3"}}
+	got, err := UnmarshalJoinReply(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || len(got.SupernodeAddrs) != 3 || got.SupernodeAddrs[1] != "b:2" {
+		t.Errorf("round trip: %+v", got)
+	}
+	deny := JoinReply{OK: false, Reason: "full"}
+	got, err = UnmarshalJoinReply(deny.Marshal())
+	if err != nil || got.OK || got.Reason != "full" {
+		t.Errorf("deny round trip: %+v, %v", got, err)
+	}
+}
+
+func TestActionRoundTripProperty(t *testing.T) {
+	f := func(player int32, kind uint8, tx, ty float64, target uint32, tag uint8) bool {
+		m := ActionMsg{Action: virtualworld.Action{
+			Player:       int(player),
+			Kind:         virtualworld.ActionKind(kind),
+			TargetX:      tx,
+			TargetY:      ty,
+			TargetEntity: virtualworld.EntityID(target),
+			StateTag:     tag,
+		}}
+		got, err := UnmarshalActionMsg(m.Marshal())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateBatchRoundTrip(t *testing.T) {
+	m := UpdateBatch{
+		Tick: 99,
+		Deltas: []virtualworld.Delta{
+			{ID: 1, Entity: virtualworld.Entity{
+				ID: 1, Kind: virtualworld.KindAvatar, Owner: 5,
+				X: 1.5, Y: 2.5, Facing: 0.7, HP: 88, State: 2, Version: 31,
+			}},
+			{ID: 9, Removed: true},
+			{ID: 2, Entity: virtualworld.Entity{
+				ID: 2, Kind: virtualworld.KindItem, Owner: -1, X: 3, Y: 4, Version: 1,
+			}},
+		},
+	}
+	got, err := UnmarshalUpdateBatch(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != 99 || len(got.Deltas) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range m.Deltas {
+		if got.Deltas[i] != m.Deltas[i] {
+			t.Errorf("delta %d: %+v vs %+v", i, got.Deltas[i], m.Deltas[i])
+		}
+	}
+	if m.SizeBits() != len(m.Marshal())*8 {
+		t.Error("SizeBits mismatch")
+	}
+}
+
+func TestUpdateBatchEmpty(t *testing.T) {
+	m := UpdateBatch{Tick: 3}
+	got, err := UnmarshalUpdateBatch(m.Marshal())
+	if err != nil || got.Tick != 3 || len(got.Deltas) != 0 {
+		t.Errorf("empty batch: %+v, %v", got, err)
+	}
+}
+
+func TestPlayerAttachAndReplyRoundTrip(t *testing.T) {
+	a := PlayerAttach{PlayerID: 12, QualityLevel: 4}
+	gotA, err := UnmarshalPlayerAttach(a.Marshal())
+	if err != nil || gotA != a {
+		t.Errorf("attach: %+v, %v", gotA, err)
+	}
+	r := AttachReply{OK: false, Reason: "at capacity"}
+	gotR, err := UnmarshalAttachReply(r.Marshal())
+	if err != nil || gotR != r {
+		t.Errorf("reply: %+v, %v", gotR, err)
+	}
+}
+
+func TestRateChangeRoundTrip(t *testing.T) {
+	m := RateChange{QualityLevel: 2}
+	got, err := UnmarshalRateChange(m.Marshal())
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestProbeReplyRoundTrip(t *testing.T) {
+	m := ProbeReply{Available: 9}
+	got, err := UnmarshalProbeReply(m.Marshal())
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSupernodeHello([]byte{0xFF}); err == nil {
+		t.Error("garbage hello accepted")
+	}
+	if _, err := UnmarshalPlayerJoin([]byte{1, 2}); err == nil {
+		t.Error("short join accepted")
+	}
+	if _, err := UnmarshalUpdateBatch([]byte{0}); err == nil {
+		t.Error("short batch accepted")
+	}
+	if _, err := UnmarshalActionMsg(nil); err == nil {
+		t.Error("empty action accepted")
+	}
+	// Trailing bytes are an error, not silently ignored.
+	m := RateChange{QualityLevel: 1}
+	if _, err := UnmarshalRateChange(append(m.Marshal(), 0xEE)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A batch claiming absurdly many deltas must fail fast.
+	huge := UpdateBatch{Tick: 1}.Marshal()
+	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := UnmarshalUpdateBatch(huge); err == nil {
+		t.Error("hostile delta count accepted")
+	}
+}
+
+func TestEntityWireBytesAccurate(t *testing.T) {
+	w := &writer{}
+	putEntity(w, virtualworld.Entity{})
+	if len(w.buf) != EntityWireBytes {
+		t.Errorf("EntityWireBytes = %d, actual %d", EntityWireBytes, len(w.buf))
+	}
+}

@@ -1,0 +1,188 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBookClampsLambda(t *testing.T) {
+	for _, bad := range []float64{-1, 0, 1, 2} {
+		if got := NewBook(bad).Lambda(); got != DefaultLambda {
+			t.Errorf("NewBook(%v).Lambda() = %v, want default", bad, got)
+		}
+	}
+	if got := NewBook(0.8).Lambda(); got != 0.8 {
+		t.Errorf("valid lambda rejected: %v", got)
+	}
+}
+
+func TestScoreNoHistoryIsZero(t *testing.T) {
+	b := NewBook(0.9)
+	if got := b.Score(1, 10); got != 0 {
+		t.Errorf("unknown supernode score = %v, want 0 per the paper", got)
+	}
+}
+
+func TestScoreSingleRating(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(1, 0.8, 5)
+	// Same-day score: 0.8 * 0.9^0 / 1 = 0.8.
+	if got := b.Score(1, 5); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("same-day score = %v", got)
+	}
+	// Three days later: 0.8 * 0.9^3.
+	want := 0.8 * math.Pow(0.9, 3)
+	if got := b.Score(1, 8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("aged score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreEquation7(t *testing.T) {
+	// s_ij = (1/N_r) * sum_k r_k * lambda^d_k, checked against a hand
+	// computation with two ratings.
+	b := NewBook(0.5)
+	b.Rate(7, 1.0, 0)
+	b.Rate(7, 0.5, 2)
+	// On day 3: (1.0*0.5^3 + 0.5*0.5^1) / 2 = (0.125 + 0.25)/2 = 0.1875.
+	if got := b.Score(7, 3); math.Abs(got-0.1875) > 1e-12 {
+		t.Errorf("Eq.7 score = %v, want 0.1875", got)
+	}
+}
+
+func TestRatingClamped(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(1, 1.7, 0)
+	b.Rate(2, -0.4, 0)
+	if got := b.Score(1, 0); got != 1 {
+		t.Errorf("overflow rating score = %v", got)
+	}
+	if got := b.Score(2, 0); got != 0 {
+		t.Errorf("underflow rating score = %v", got)
+	}
+}
+
+func TestScoreDecaysWithAgeProperty(t *testing.T) {
+	// Property: for any rating history, the score never increases as the
+	// evaluation day advances (all ratings only age).
+	f := func(vals []uint8, seed uint8) bool {
+		b := NewBook(0.9)
+		for i, v := range vals {
+			b.Rate(1, float64(v)/255, i)
+		}
+		last := len(vals)
+		s1 := b.Score(1, last)
+		s2 := b.Score(1, last+3)
+		return s2 <= s1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreBoundedProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		b := NewBook(0.9)
+		for i, v := range vals {
+			b.Rate(3, float64(v)/255, i)
+		}
+		s := b.Score(3, len(vals))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecentRatingsDominate(t *testing.T) {
+	// A supernode that was bad long ago but good recently must outscore
+	// one that was good long ago but bad recently.
+	b := NewBook(0.8)
+	b.Rate(1, 0.1, 0)
+	b.Rate(1, 0.9, 20)
+	b.Rate(2, 0.9, 0)
+	b.Rate(2, 0.1, 20)
+	if b.Score(1, 20) <= b.Score(2, 20) {
+		t.Errorf("recency weighting broken: %v vs %v", b.Score(1, 20), b.Score(2, 20))
+	}
+}
+
+func TestNumRatingsAndForget(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(1, 0.5, 0)
+	b.Rate(1, 0.6, 1)
+	if b.NumRatings(1) != 2 {
+		t.Errorf("NumRatings = %d", b.NumRatings(1))
+	}
+	b.Forget(1)
+	if b.NumRatings(1) != 0 || b.Score(1, 2) != 0 {
+		t.Error("Forget did not clear history")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(1, 0.5, 0)
+	b.Rate(1, 0.6, 50)
+	b.Rate(2, 0.7, 0)
+	b.Prune(60, 30)
+	if b.NumRatings(1) != 1 {
+		t.Errorf("supernode 1 ratings after prune = %d, want 1", b.NumRatings(1))
+	}
+	if b.NumRatings(2) != 0 {
+		t.Errorf("supernode 2 ratings after prune = %d, want 0", b.NumRatings(2))
+	}
+}
+
+func TestRanked(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(10, 0.9, 5)
+	b.Rate(20, 0.5, 5)
+	// 30 unknown -> score 0 -> last; ties broken by ascending ID.
+	got := b.Ranked([]int{30, 20, 10, 40}, 5)
+	want := []int{10, 20, 30, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranked = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankedEmpty(t *testing.T) {
+	b := NewBook(0.9)
+	if got := b.Ranked(nil, 0); len(got) != 0 {
+		t.Errorf("Ranked(nil) = %v", got)
+	}
+}
+
+func TestNegativeAgeTreatedAsZero(t *testing.T) {
+	b := NewBook(0.9)
+	b.Rate(1, 0.8, 10)
+	// Evaluating "before" the rating day must not amplify the rating.
+	if got := b.Score(1, 5); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("future rating score = %v, want 0.8", got)
+	}
+}
+
+func TestGlobalBook(t *testing.T) {
+	g := NewGlobalBook(0.9)
+	if g.Score(1, 0) != 0 {
+		t.Error("empty global score not 0")
+	}
+	g.Rate(1, 0.8, 0)
+	g.Rate(1, 0.6, 0)
+	if got := g.Score(1, 0); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("global score = %v, want 0.7", got)
+	}
+	// Sybil attack surface the paper warns about: many fake ratings swing
+	// the global score — demonstrating why CloudFog uses per-player books.
+	for i := 0; i < 100; i++ {
+		g.Rate(1, 1.0, 0)
+	}
+	if g.Score(1, 0) < 0.95 {
+		t.Error("expected the global book to be swayed by rating floods")
+	}
+	if NewGlobalBook(5).Score(9, 3) != 0 {
+		t.Error("lambda clamp broken for global book")
+	}
+}

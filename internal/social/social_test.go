@@ -1,0 +1,238 @@
+package social
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudfog/internal/rng"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	if g.N() != 4 || g.NumEdges() != 0 {
+		t.Fatal("fresh graph malformed")
+	}
+	if !g.AddEdge(0, 1) {
+		t.Error("AddEdge(0,1) failed")
+	}
+	if g.AddEdge(0, 1) || g.AddEdge(1, 0) {
+		t.Error("duplicate edge accepted")
+	}
+	if g.AddEdge(2, 2) {
+		t.Error("self-loop accepted")
+	}
+	if g.AddEdge(-1, 0) || g.AddEdge(0, 4) {
+		t.Error("out-of-range edge accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(-1, 5) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degree wrong")
+	}
+	if fs := g.Friends(0); len(fs) != 1 || fs[0] != 1 {
+		t.Errorf("Friends(0) = %v", fs)
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	g := Generate(GenerateConfig{N: 2000, Skew: 1.5}, rng.New(1))
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	meanDeg := float64(2*g.NumEdges()) / 2000
+	if meanDeg < 2 || meanDeg > 20 {
+		t.Errorf("mean degree %v implausible", meanDeg)
+	}
+	// Power-law: some players must have far more friends than the mean.
+	maxDeg := 0
+	for i := 0; i < 2000; i++ {
+		if d := g.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 3*meanDeg {
+		t.Errorf("degree distribution lacks a tail: max %d mean %v", maxDeg, meanDeg)
+	}
+}
+
+func TestGenerateGuildsAreCommunities(t *testing.T) {
+	// The planted guild structure must make a guild-aligned partition far
+	// more modular than a random one.
+	r := rng.New(2)
+	cfg := GenerateConfig{N: 1000, Skew: 1.5, GuildSizeMin: 20, GuildSizeMax: 20}
+	g := Generate(cfg, r)
+	guildOf := make([]int, 1000)
+	for i := range guildOf {
+		guildOf[i] = i / 20
+	}
+	z := 50
+	guildGamma := Modularity(g, guildOf, z)
+	random := make([]int, 1000)
+	for i := range random {
+		random[i] = r.Intn(z)
+	}
+	randomGamma := Modularity(g, random, z)
+	if guildGamma < 0.4 {
+		t.Errorf("guild partition modularity %v too low", guildGamma)
+	}
+	if guildGamma <= randomGamma+0.2 {
+		t.Errorf("guild partition (%v) not clearly better than random (%v)", guildGamma, randomGamma)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenerateConfig{N: 300}, rng.New(9))
+	b := Generate(GenerateConfig{N: 300}, rng.New(9))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < 300; i++ {
+		if a.Degree(i) != b.Degree(i) {
+			t.Fatalf("degrees differ at %d", i)
+		}
+	}
+}
+
+func TestGenerateTiny(t *testing.T) {
+	if g := Generate(GenerateConfig{N: 0}, rng.New(1)); g.N() != 0 {
+		t.Error("empty graph mishandled")
+	}
+	if g := Generate(GenerateConfig{N: 1}, rng.New(1)); g.NumEdges() != 0 {
+		t.Error("single-node graph has edges")
+	}
+	g := Generate(GenerateConfig{N: 2}, rng.New(1))
+	if g.N() != 2 {
+		t.Error("two-node graph malformed")
+	}
+}
+
+func TestModularityBoundsProperty(t *testing.T) {
+	// Property: modularity of any partition lies in [-1, 1].
+	f := func(seed uint64, zRaw uint8) bool {
+		r := rng.New(seed)
+		g := Generate(GenerateConfig{N: 120}, r)
+		z := int(zRaw%12) + 1
+		community := make([]int, 120)
+		for i := range community {
+			community[i] = r.Intn(z)
+		}
+		gamma := Modularity(g, community, z)
+		return gamma >= -1-1e-9 && gamma <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModularitySingleCommunityIsZero(t *testing.T) {
+	g := Generate(GenerateConfig{N: 100}, rng.New(3))
+	community := make([]int, 100) // all zeros
+	// tr(Q)=1, ||Q^2|| = 1 -> Γ = 0 for the trivial partition.
+	if gamma := Modularity(g, community, 1); math.Abs(gamma) > 1e-9 {
+		t.Errorf("single-community modularity = %v, want 0", gamma)
+	}
+}
+
+func TestModularityEdgeCases(t *testing.T) {
+	g := NewGraph(5)
+	if Modularity(g, make([]int, 5), 2) != 0 {
+		t.Error("edgeless graph modularity != 0")
+	}
+	g.AddEdge(0, 1)
+	if Modularity(g, []int{0, 0, 1, 1, 1}, 0) != 0 {
+		t.Error("z=0 modularity != 0")
+	}
+	// Out-of-range community labels are skipped, not panicking.
+	_ = Modularity(g, []int{-1, 7, 0, 0, 0}, 2)
+}
+
+func TestModularityPerfectSplit(t *testing.T) {
+	// Two disconnected cliques split into their own communities: Γ = 1/2
+	// for equal halves (1 - sum p_a^2 = 1 - 2*(1/2)^2).
+	g := NewGraph(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(i+4, j+4)
+		}
+	}
+	community := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	if gamma := Modularity(g, community, 2); math.Abs(gamma-0.5) > 1e-9 {
+		t.Errorf("perfect split modularity = %v, want 0.5", gamma)
+	}
+}
+
+func TestCoPlayRecorder(t *testing.T) {
+	c := NewCoPlayRecorder(2, 7)
+	c.Record(1, 2, 0)
+	c.Record(2, 1, 1) // symmetric pair key
+	c.Record(1, 2, 2)
+	if got := c.CoPlayCount(1, 2, 3); got != 3 {
+		t.Errorf("CoPlayCount = %d", got)
+	}
+	if got := c.CoPlayCount(2, 1, 3); got != 3 {
+		t.Errorf("CoPlayCount not symmetric: %d", got)
+	}
+	if !c.ImplicitFriends(1, 2, 3) {
+		t.Error("3 > 2 co-plays should be implicit friends")
+	}
+	// Outside the window the events age out.
+	if c.ImplicitFriends(1, 2, 20) {
+		t.Error("stale co-plays still counted")
+	}
+	c.Record(3, 3, 0) // self-records ignored
+	if c.CoPlayCount(3, 3, 0) != 0 {
+		t.Error("self co-play recorded")
+	}
+}
+
+func TestCoPlayDefaults(t *testing.T) {
+	c := NewCoPlayRecorder(0, 0)
+	if c.Threshold != 3 || c.WindowDays != 7 {
+		t.Errorf("defaults: %d, %d", c.Threshold, c.WindowDays)
+	}
+}
+
+func TestCoPlayPrune(t *testing.T) {
+	c := NewCoPlayRecorder(1, 7)
+	c.Record(1, 2, 0)
+	c.Record(1, 2, 10)
+	c.Prune(12)
+	if got := c.CoPlayCount(1, 2, 12); got != 1 {
+		t.Errorf("after prune count = %d", got)
+	}
+}
+
+func TestAugmentGraph(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	c := NewCoPlayRecorder(2, 7)
+	for day := 0; day < 3; day++ {
+		c.Record(2, 3, day)
+	}
+	c.Record(3, 4, 0) // below threshold
+	aug := c.AugmentGraph(g, 3)
+	if !aug.HasEdge(0, 1) {
+		t.Error("explicit friendship lost")
+	}
+	if !aug.HasEdge(2, 3) {
+		t.Error("implicit friendship not added")
+	}
+	if aug.HasEdge(3, 4) {
+		t.Error("sub-threshold pair became friends")
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("AugmentGraph mutated the original")
+	}
+}

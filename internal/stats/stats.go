@@ -1,0 +1,276 @@
+// Package stats provides the small statistical toolkit used by the
+// CloudFog experiments: summary statistics, online accumulators,
+// histograms, and time-series helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Accumulator collects samples online and reports summary statistics
+// without retaining every sample.
+type Accumulator struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sum2 += x * x
+}
+
+// AddN records the same sample n times.
+func (a *Accumulator) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of recorded samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Sum returns the total of all samples.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the mean of all samples, or 0 if none were recorded.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Variance returns the population variance of all samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sum2/float64(a.n) - m*m
+	if v < 0 { // numerical noise
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation of all samples.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest recorded sample, or 0 if none were recorded.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest recorded sample, or 0 if none were recorded.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds another accumulator's samples into a.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n += b.n
+	a.sum += b.sum
+	a.sum2 += b.sum2
+}
+
+// Ratio is a success counter reporting hits/total.
+type Ratio struct {
+	Hits  int
+	Total int
+}
+
+// Observe records one trial with the given outcome.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 when nothing was observed.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Histogram counts samples into fixed-width buckets over [lo, hi). Samples
+// outside the range land in the first or last bucket.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int
+	n       int
+}
+
+// NewHistogram creates a histogram with nbuckets buckets over [lo, hi).
+// It returns nil if the arguments do not describe a valid range.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if nbuckets <= 0 || hi <= lo {
+		return nil
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		width:   (hi - lo) / float64(nbuckets),
+		buckets: make([]int, nbuckets),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// CDFAt returns the empirical CDF evaluated at x.
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var c int
+	for i, b := range h.buckets {
+		upper := h.lo + float64(i+1)*h.width
+		if upper <= x {
+			c += b
+		}
+	}
+	return float64(c) / float64(h.n)
+}
+
+// String renders the histogram compactly for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram[%g,%g) n=%d buckets=%d", h.lo, h.hi, h.n, len(h.buckets))
+}

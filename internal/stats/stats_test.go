@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEq(got, tt.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); !almostEq(got, 3) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance single = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-1, 1}, {101, 5}, {12.5, 1.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEq(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	if got := Median(xs); !almostEq(got, 3) {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{4, -2, 9, 0}
+	if got := Min(xs); got != -2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.N() != 0 || a.StdDev() != 0 {
+		t.Error("zero accumulator should report zeros")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		a.Add(x)
+	}
+	if a.N() != 3 || !almostEq(a.Mean(), 4) || !almostEq(a.Sum(), 12) {
+		t.Errorf("accumulator: n=%d mean=%v sum=%v", a.N(), a.Mean(), a.Sum())
+	}
+	if a.Min() != 2 || a.Max() != 6 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	wantVar := Variance([]float64{2, 4, 6})
+	if !almostEq(a.Variance(), wantVar) {
+		t.Errorf("variance = %v, want %v", a.Variance(), wantVar)
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a Accumulator
+	a.AddN(5, 4)
+	if a.N() != 4 || !almostEq(a.Mean(), 5) || a.Variance() != 0 {
+		t.Errorf("AddN: n=%d mean=%v var=%v", a.N(), a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	var a, b Accumulator
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+	}
+	for _, x := range []float64{10, 20} {
+		b.Add(x)
+	}
+	a.Merge(&b)
+	want := Mean([]float64{1, 2, 3, 10, 20})
+	if a.N() != 5 || !almostEq(a.Mean(), want) {
+		t.Errorf("merged: n=%d mean=%v want %v", a.N(), a.Mean(), want)
+	}
+	if a.Min() != 1 || a.Max() != 20 {
+		t.Errorf("merged min/max: %v/%v", a.Min(), a.Max())
+	}
+	var empty Accumulator
+	a.Merge(&empty) // no-op
+	if a.N() != 5 {
+		t.Error("merging empty changed N")
+	}
+	var c Accumulator
+	c.Merge(&a)
+	if c.N() != 5 || !almostEq(c.Mean(), a.Mean()) {
+		t.Error("merge into empty lost samples")
+	}
+}
+
+func TestAccumulatorMatchesSliceStats(t *testing.T) {
+	// Property: the online accumulator agrees with the slice functions.
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var a Accumulator
+		for i, v := range raw {
+			xs[i] = float64(v)
+			a.Add(float64(v))
+		}
+		return math.Abs(a.Mean()-Mean(xs)) < 1e-6 &&
+			math.Abs(a.Variance()-Variance(xs)) < 1e-4 &&
+			a.Min() == Min(xs) && a.Max() == Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(true)
+	r.Observe(true)
+	if !almostEq(r.Value(), 0.75) || r.Hits != 3 || r.Total != 4 {
+		t.Errorf("ratio = %v (%d/%d)", r.Value(), r.Hits, r.Total)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h == nil {
+		t.Fatal("valid histogram rejected")
+	}
+	for _, x := range []float64{0.5, 1, 3, 5, 9.9, -1, 100} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	// -1 clamps to bucket 0; 100 clamps to last bucket.
+	if h.Bucket(0) != 3 { // 0.5, 1, -1
+		t.Errorf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(4) != 2 { // 9.9, 100
+		t.Errorf("bucket4 = %d", h.Bucket(4))
+	}
+	if h.NumBuckets() != 5 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if NewHistogram(5, 5, 3) != nil {
+		t.Error("hi==lo accepted")
+	}
+	if NewHistogram(0, 10, 0) != nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.CDFAt(5); !almostEq(got, 0.5) {
+		t.Errorf("CDF(5) = %v", got)
+	}
+	if got := h.CDFAt(10); !almostEq(got, 1) {
+		t.Errorf("CDF(10) = %v", got)
+	}
+	var empty Histogram
+	_ = empty
+	h2 := NewHistogram(0, 1, 2)
+	if got := h2.CDFAt(0.5); got != 0 {
+		t.Errorf("empty CDF = %v", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	if s := h.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

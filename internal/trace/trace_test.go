@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"cloudfog/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if New(nil) != nil {
+		t.Error("empty trace accepted")
+	}
+	if New([]Bucket{{LatencyMs: 10, Frequency: -1}}) != nil {
+		t.Error("negative frequency accepted")
+	}
+	if New([]Bucket{{LatencyMs: -10, Frequency: 1}}) != nil {
+		t.Error("negative latency accepted")
+	}
+	if New([]Bucket{{LatencyMs: 10, Frequency: 0}}) != nil {
+		t.Error("zero total frequency accepted")
+	}
+	if New([]Bucket{{LatencyMs: 10, Frequency: 1}}) == nil {
+		t.Error("valid trace rejected")
+	}
+}
+
+func TestMean(t *testing.T) {
+	tr := New([]Bucket{
+		{LatencyMs: 10, Frequency: 1},
+		{LatencyMs: 30, Frequency: 3},
+	})
+	if got, want := tr.Mean(), 25.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	tr := New([]Bucket{
+		{LatencyMs: 50, Frequency: 1},
+	})
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		s := tr.Sample(r)
+		// ±20% within-bucket smear.
+		if s < 40 || s > 60 {
+			t.Fatalf("sample %v outside smear range", s)
+		}
+	}
+}
+
+func TestSampleRespectsFrequencies(t *testing.T) {
+	tr := New([]Bucket{
+		{LatencyMs: 10, Frequency: 0.9},
+		{LatencyMs: 1000, Frequency: 0.1},
+	})
+	r := rng.New(2)
+	low := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if tr.Sample(r) < 500 {
+			low++
+		}
+	}
+	p := float64(low) / n
+	if math.Abs(p-0.9) > 0.02 {
+		t.Errorf("low-bucket frequency %v, want ~0.9", p)
+	}
+}
+
+func TestSampleEmpiricalMean(t *testing.T) {
+	tr := LeagueOfLegends()
+	r := rng.New(3)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += tr.Sample(r)
+	}
+	mean := sum / n
+	if math.Abs(mean-tr.Mean()) > 0.03*tr.Mean() {
+		t.Errorf("empirical mean %v vs analytic %v", mean, tr.Mean())
+	}
+}
+
+func TestBuiltinTraces(t *testing.T) {
+	lol := LeagueOfLegends()
+	wa := WideArea()
+	if lol == nil || wa == nil {
+		t.Fatal("builtin trace nil")
+	}
+	// The PlanetLab substitute must be slower on average than the LoL
+	// consumer trace — that is its purpose.
+	if wa.Mean() <= lol.Mean() {
+		t.Errorf("WideArea mean %v not heavier than LoL %v", wa.Mean(), lol.Mean())
+	}
+	// Both must exhibit a long tail: max bucket at least 3x the mean.
+	for name, tr := range map[string]*PingTrace{"lol": lol, "wide": wa} {
+		var maxLat float64
+		for _, b := range tr.Buckets() {
+			if b.LatencyMs > maxLat {
+				maxLat = b.LatencyMs
+			}
+		}
+		if maxLat < 2.5*tr.Mean() {
+			t.Errorf("%s trace lacks a tail: max %v mean %v", name, maxLat, tr.Mean())
+		}
+	}
+}
+
+func TestBucketsCopy(t *testing.T) {
+	tr := LeagueOfLegends()
+	bs := tr.Buckets()
+	bs[0].LatencyMs = 99999
+	if tr.Buckets()[0].LatencyMs == 99999 {
+		t.Error("Buckets exposes internal state")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	tr := LeagueOfLegends()
+	a := tr.Sample(rng.New(7))
+	b := tr.Sample(rng.New(7))
+	if a != b {
+		t.Errorf("same-seed samples differ: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,50 @@
+package videocodec
+
+import (
+	"testing"
+
+	"cloudfog/internal/render"
+	"cloudfog/internal/virtualworld"
+)
+
+func benchFrames(b *testing.B, level int) []*render.Frame {
+	b.Helper()
+	w := virtualworld.New(400, 400)
+	w.SpawnAvatar(1, 100, 100)
+	r := render.NewRenderer(render.ResolutionForLevel(level))
+	frames := make([]*render.Frame, 0, 32)
+	for i := 0; i < 32; i++ {
+		w.Step([]virtualworld.Action{{Player: 1, Kind: virtualworld.ActMove, TargetX: 300, TargetY: 300}})
+		s := w.Snapshot()
+		frames = append(frames, r.Render(s, render.ViewportFor(s, 1)))
+	}
+	return frames
+}
+
+// BenchmarkEncode720p measures the per-frame cost of encoding the top
+// quality rung.
+func BenchmarkEncode720p(b *testing.B) {
+	frames := benchFrames(b, 5)
+	enc := NewEncoder(1800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(frames[i%len(frames)])
+	}
+}
+
+// BenchmarkDecode720p measures the client-side decode cost.
+func BenchmarkDecode720p(b *testing.B) {
+	frames := benchFrames(b, 5)
+	enc := NewEncoder(1800)
+	encoded := make([]*EncodedFrame, len(frames))
+	for i, f := range frames {
+		encoded[i] = enc.Encode(f)
+	}
+	b.ResetTimer()
+	var dec Decoder
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(encoded[i%len(encoded)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package videocodec implements the game-video encoder/decoder supernodes
+// run: frames from internal/render are compressed to the Table 2 bitrate
+// ladder with intra-frame (quantization + run-length) and inter-frame
+// (previous-frame delta) compression — the compressed-graphics-streaming
+// approach of the LiveRender system the paper compares against, reduced to
+// its essentials.
+//
+// The encoder carries a simple rate controller: the quantization step
+// adapts per frame so the output stream tracks a target bitrate, which is
+// exactly the knob the receiver-driven adaptation of §3.3 turns when it
+// changes quality levels.
+package videocodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/render"
+)
+
+// FrameType distinguishes encoded frames.
+type FrameType uint8
+
+const (
+	// IFrame is intra-coded: decodable alone.
+	IFrame FrameType = 1
+	// PFrame is inter-coded: a delta against the previous decoded frame.
+	PFrame FrameType = 2
+)
+
+// EncodedFrame is one compressed video frame.
+type EncodedFrame struct {
+	// Type is I or P.
+	Type FrameType
+	// Width, Height are the frame dimensions.
+	Width, Height int
+	// Quant is the quantization step used (1 = lossless bucketing).
+	Quant uint8
+	// Tick is the world tick of the source frame.
+	Tick uint64
+	// Data is the run-length-encoded payload.
+	Data []byte
+}
+
+// SizeBits returns the encoded size in bits, including a fixed header
+// estimate.
+func (e *EncodedFrame) SizeBits() int { return (len(e.Data) + frameHeaderBytes) * 8 }
+
+const frameHeaderBytes = 18
+
+// Encoder compresses a frame stream with I/P frames and rate control.
+type Encoder struct {
+	// GOP is the group-of-pictures length: an I-frame every GOP frames.
+	GOP int
+	// TargetKbps is the bitrate the rate controller tracks (0 disables
+	// rate control; quantization stays at 1).
+	TargetKbps float64
+
+	prev    []byte // previous DECODED (quantized) frame, for P references
+	w, h    int
+	count   int
+	quant   int
+	bitsAcc float64 // rolling bits-per-frame average
+}
+
+// DefaultGOP is the default group-of-pictures length (one I-frame per
+// second at 30 fps).
+const DefaultGOP = 30
+
+// NewEncoder creates an encoder targeting the given bitrate. A
+// non-positive target disables rate control and pins quantization to 1
+// (lossless).
+func NewEncoder(targetKbps float64) *Encoder {
+	quant := 4
+	if targetKbps <= 0 {
+		quant = 1
+	}
+	return &Encoder{GOP: DefaultGOP, TargetKbps: targetKbps, quant: quant}
+}
+
+// SetTargetKbps retargets the rate controller (a quality-level switch).
+func (e *Encoder) SetTargetKbps(kbps float64) { e.TargetKbps = kbps }
+
+// quantize buckets a luminance value with step q.
+func quantize(v byte, q int) byte {
+	if q <= 1 {
+		return v
+	}
+	return byte(int(v) / q * q)
+}
+
+// Encode compresses one frame. The first frame, every GOP-th frame, and
+// any resolution change produce an I-frame; the rest are P-frames.
+func (e *Encoder) Encode(f *render.Frame) *EncodedFrame {
+	if e.GOP <= 0 {
+		e.GOP = DefaultGOP
+	}
+	if e.quant < 1 {
+		e.quant = 1
+	}
+	isI := e.count%e.GOP == 0 || e.prev == nil || e.w != f.Width || e.h != f.Height
+	e.count++
+
+	// Quantize into a scratch copy.
+	q := e.quant
+	cur := make([]byte, len(f.Pix))
+	for i, v := range f.Pix {
+		cur[i] = quantize(v, q)
+	}
+
+	var payload []byte
+	var ftype FrameType
+	if isI {
+		ftype = IFrame
+		payload = rleEncode(cur)
+	} else {
+		ftype = PFrame
+		diff := make([]byte, len(cur))
+		for i := range cur {
+			diff[i] = cur[i] - e.prev[i]
+		}
+		payload = rleEncode(diff)
+	}
+	e.prev = cur
+	e.w, e.h = f.Width, f.Height
+
+	out := &EncodedFrame{
+		Type: ftype, Width: f.Width, Height: f.Height,
+		Quant: uint8(q), Tick: f.Tick, Data: payload,
+	}
+	e.adaptQuant(out.SizeBits())
+	return out
+}
+
+// adaptQuant steers the quantization step toward the target bits/frame.
+func (e *Encoder) adaptQuant(lastBits int) {
+	if e.TargetKbps <= 0 {
+		e.quant = 1
+		return
+	}
+	targetBits := e.TargetKbps * 1000 / game.FrameRate
+	// Exponential moving average of output size.
+	if e.bitsAcc == 0 {
+		e.bitsAcc = float64(lastBits)
+	} else {
+		e.bitsAcc = 0.8*e.bitsAcc + 0.2*float64(lastBits)
+	}
+	switch {
+	case e.bitsAcc > 1.2*targetBits && e.quant < 64:
+		e.quant *= 2
+	case e.bitsAcc < 0.5*targetBits && e.quant > 1:
+		e.quant /= 2
+	}
+}
+
+// Quant returns the current quantization step (diagnostics).
+func (e *Encoder) Quant() int { return e.quant }
+
+// Decoder reconstructs frames from an encoded stream.
+type Decoder struct {
+	prev []byte
+	w, h int
+}
+
+// Errors returned by Decode.
+var (
+	ErrNoReference   = errors.New("videocodec: P-frame without a reference frame")
+	ErrCorruptStream = errors.New("videocodec: corrupt payload")
+)
+
+// Decode reconstructs one frame.
+func (d *Decoder) Decode(ef *EncodedFrame) (*render.Frame, error) {
+	n := ef.Width * ef.Height
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad dimensions %dx%d", ErrCorruptStream, ef.Width, ef.Height)
+	}
+	payload, err := rleDecode(ef.Data, n)
+	if err != nil {
+		return nil, err
+	}
+	pix := make([]byte, n)
+	switch ef.Type {
+	case IFrame:
+		copy(pix, payload)
+	case PFrame:
+		if d.prev == nil || d.w != ef.Width || d.h != ef.Height {
+			return nil, ErrNoReference
+		}
+		for i := range pix {
+			pix[i] = d.prev[i] + payload[i]
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorruptStream, ef.Type)
+	}
+	d.prev = pix
+	d.w, d.h = ef.Width, ef.Height
+	return &render.Frame{Width: ef.Width, Height: ef.Height, Pix: pix, Tick: ef.Tick}, nil
+}
+
+// --- run-length coding ----------------------------------------------------
+
+// rleEncode compresses with byte-level RLE: (count, value) pairs.
+func rleEncode(data []byte) []byte {
+	out := make([]byte, 0, len(data)/4+8)
+	i := 0
+	for i < len(data) {
+		v := data[i]
+		run := 1
+		for i+run < len(data) && data[i+run] == v && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), v)
+		i += run
+	}
+	return out
+}
+
+// rleDecode expands an RLE payload to exactly n bytes.
+func rleDecode(data []byte, n int) ([]byte, error) {
+	if len(data)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd RLE length", ErrCorruptStream)
+	}
+	out := make([]byte, 0, n)
+	for i := 0; i+1 < len(data); i += 2 {
+		run, v := int(data[i]), data[i+1]
+		if run == 0 || len(out)+run > n {
+			return nil, fmt.Errorf("%w: RLE overflow", ErrCorruptStream)
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, v)
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: RLE underflow (%d of %d)", ErrCorruptStream, len(out), n)
+	}
+	return out, nil
+}
+
+// --- wire helpers ----------------------------------------------------------
+
+// Marshal serializes an encoded frame for transport.
+func (ef *EncodedFrame) Marshal() []byte {
+	buf := make([]byte, frameHeaderBytes+len(ef.Data))
+	buf[0] = byte(ef.Type)
+	buf[1] = ef.Quant
+	binary.BigEndian.PutUint16(buf[2:], uint16(ef.Width))
+	binary.BigEndian.PutUint16(buf[4:], uint16(ef.Height))
+	binary.BigEndian.PutUint64(buf[6:], ef.Tick)
+	binary.BigEndian.PutUint32(buf[14:], uint32(len(ef.Data)))
+	copy(buf[frameHeaderBytes:], ef.Data)
+	return buf
+}
+
+// UnmarshalFrame parses a serialized encoded frame.
+func UnmarshalFrame(buf []byte) (*EncodedFrame, error) {
+	if len(buf) < frameHeaderBytes {
+		return nil, fmt.Errorf("%w: short frame header", ErrCorruptStream)
+	}
+	n := int(binary.BigEndian.Uint32(buf[14:]))
+	if len(buf) < frameHeaderBytes+n {
+		return nil, fmt.Errorf("%w: truncated frame payload", ErrCorruptStream)
+	}
+	return &EncodedFrame{
+		Type:   FrameType(buf[0]),
+		Quant:  buf[1],
+		Width:  int(binary.BigEndian.Uint16(buf[2:])),
+		Height: int(binary.BigEndian.Uint16(buf[4:])),
+		Tick:   binary.BigEndian.Uint64(buf[6:]),
+		Data:   append([]byte(nil), buf[frameHeaderBytes:frameHeaderBytes+n]...),
+	}, nil
+}

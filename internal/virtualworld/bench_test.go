@@ -1,0 +1,64 @@
+package virtualworld
+
+import (
+	"testing"
+
+	"cloudfog/internal/rng"
+)
+
+// BenchmarkStep measures one authoritative world tick with 200 acting
+// avatars — the cloud's per-tick computation cost.
+func BenchmarkStep(b *testing.B) {
+	r := rng.New(1)
+	w := New(1024, 1024)
+	for p := 1; p <= 200; p++ {
+		w.SpawnAvatar(p, r.Uniform(0, 1024), r.Uniform(0, 1024))
+	}
+	actions := make([]Action, 0, 200)
+	for p := 1; p <= 200; p++ {
+		actions = append(actions, Action{
+			Player: p, Kind: ActMove,
+			TargetX: r.Uniform(0, 1024), TargetY: r.Uniform(0, 1024),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step(actions)
+	}
+}
+
+// BenchmarkReplicaApply measures the supernode-side cost of folding one
+// tick's deltas into a replica.
+func BenchmarkReplicaApply(b *testing.B) {
+	r := rng.New(2)
+	w := New(1024, 1024)
+	for p := 1; p <= 200; p++ {
+		w.SpawnAvatar(p, r.Uniform(0, 1024), r.Uniform(0, 1024))
+	}
+	var actions []Action
+	for p := 1; p <= 200; p++ {
+		actions = append(actions, Action{Player: p, Kind: ActMove, TargetX: 500, TargetY: 500})
+	}
+	deltas := w.Step(actions)
+	rep := NewReplica(1024, 1024)
+	rep.Seed(w.Snapshot())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Apply(w.Tick(), deltas)
+	}
+}
+
+// BenchmarkPartitionKD measures the kd-tree region split over 2,000
+// avatars.
+func BenchmarkPartitionKD(b *testing.B) {
+	r := rng.New(3)
+	w := New(1024, 1024)
+	for p := 1; p <= 2000; p++ {
+		w.SpawnAvatar(p, r.Uniform(0, 1024), r.Uniform(0, 1024))
+	}
+	s := w.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionKD(s, 16)
+	}
+}

@@ -1,0 +1,102 @@
+package virtualworld
+
+import "sort"
+
+// Replica is the supernode-side copy of the virtual world. The cloud
+// computes the authoritative state and streams deltas; the replica applies
+// them ("the supernodes update the virtual world" — §3.1), discarding
+// stale updates by entity version, and serves snapshots to the renderer.
+type Replica struct {
+	width, height float64
+	entities      map[EntityID]Entity
+	tick          uint64
+	applied       int
+	stale         int
+}
+
+// NewReplica creates an empty replica for a world of the given dimensions.
+func NewReplica(width, height float64) *Replica {
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	if height <= 0 {
+		height = DefaultHeight
+	}
+	return &Replica{width: width, height: height, entities: make(map[EntityID]Entity)}
+}
+
+// Apply folds one tick's deltas into the replica. Updates older than the
+// replica's current version of an entity are discarded (out-of-order or
+// duplicated delivery).
+func (r *Replica) Apply(tick uint64, deltas []Delta) {
+	if tick > r.tick {
+		r.tick = tick
+	}
+	for _, d := range deltas {
+		if d.Removed {
+			delete(r.entities, d.ID)
+			r.applied++
+			continue
+		}
+		if cur, ok := r.entities[d.ID]; ok && cur.Version >= d.Entity.Version {
+			r.stale++
+			continue
+		}
+		r.entities[d.ID] = d.Entity
+		r.applied++
+	}
+}
+
+// Seed initializes the replica from a full snapshot (the state transferred
+// when a supernode joins).
+func (r *Replica) Seed(s Snapshot) {
+	r.tick = s.Tick
+	r.width, r.height = s.Width, s.Height
+	r.entities = make(map[EntityID]Entity, len(s.Entities))
+	for _, e := range s.Entities {
+		r.entities[e.ID] = e
+	}
+}
+
+// Tick returns the latest applied tick.
+func (r *Replica) Tick() uint64 { return r.tick }
+
+// NumEntities returns the replica's entity count.
+func (r *Replica) NumEntities() int { return len(r.entities) }
+
+// AppliedDeltas returns how many deltas have been applied.
+func (r *Replica) AppliedDeltas() int { return r.applied }
+
+// StaleDeltas returns how many deltas were discarded as stale.
+func (r *Replica) StaleDeltas() int { return r.stale }
+
+// Entity returns the replica's copy of an entity and whether it exists.
+func (r *Replica) Entity(id EntityID) (Entity, bool) {
+	e, ok := r.entities[id]
+	return e, ok
+}
+
+// Snapshot captures the replica state, sorted by entity ID.
+func (r *Replica) Snapshot() Snapshot {
+	out := Snapshot{Tick: r.tick, Width: r.width, Height: r.height,
+		Entities: make([]Entity, 0, len(r.entities))}
+	for _, e := range r.entities {
+		out.Entities = append(out.Entities, e)
+	}
+	sort.Slice(out.Entities, func(i, j int) bool { return out.Entities[i].ID < out.Entities[j].ID })
+	return out
+}
+
+// Equal reports whether two snapshots contain identical entity states —
+// used to verify replica convergence.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Entities) != len(o.Entities) {
+		return false
+	}
+	for i := range s.Entities {
+		if s.Entities[i] != o.Entities[i] {
+			return false
+		}
+	}
+	return true
+}
