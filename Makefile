@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check chaos
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The fognet chaos tests exercise heartbeats, eviction, reconnects, and
+# player migration under injected faults; they must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+chaos:
+	$(GO) run ./examples/chaos

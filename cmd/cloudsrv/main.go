@@ -21,19 +21,23 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
 	tick := flag.Duration("tick", fognet.DefaultTickInterval, "world tick interval")
 	npcs := flag.Int("npcs", 8, "NPCs to seed the world with")
+	hbInterval := flag.Duration("hb-interval", fognet.DefaultHeartbeatInterval, "supernode heartbeat interval")
+	hbMisses := flag.Int("hb-misses", fognet.DefaultHeartbeatMisses, "missed heartbeats before a supernode is evicted")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	flag.Parse()
 
-	if err := run(*addr, *tick, *npcs, *statsEvery); err != nil {
+	if err := run(*addr, *tick, *npcs, *hbInterval, *hbMisses, *statsEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, tick time.Duration, npcs int, statsEvery time.Duration) error {
+func run(addr string, tick time.Duration, npcs int, hbInterval time.Duration, hbMisses int, statsEvery time.Duration) error {
 	cloud, err := fognet.NewCloudServer(fognet.CloudConfig{
-		Addr:         addr,
-		TickInterval: tick,
-		NPCs:         npcs,
+		Addr:              addr,
+		TickInterval:      tick,
+		NPCs:              npcs,
+		HeartbeatInterval: hbInterval,
+		HeartbeatMisses:   hbMisses,
 	})
 	if err != nil {
 		return err
@@ -58,8 +62,9 @@ func run(addr string, tick time.Duration, npcs int, statsEvery time.Duration) er
 			return nil
 		case <-tickCh:
 			s := cloud.Stats()
-			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit\n",
-				s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000)
+			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit evictions=%d departures=%d qdrops=%d\n",
+				s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000,
+				s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops)
 		}
 	}
 }

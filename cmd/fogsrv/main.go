@@ -23,21 +23,23 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "stream listen address")
 	capacity := flag.Int("capacity", 8, "max concurrent players")
 	frame := flag.Duration("frame", fognet.DefaultFrameInterval, "video frame interval")
+	dialTimeout := flag.Duration("dial-timeout", fognet.DefaultDialTimeout, "cloud dial timeout")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	flag.Parse()
 
-	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *statsEvery); err != nil {
+	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(name, cloudAddr, addr string, capacity int, frame, statsEvery time.Duration) error {
+func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration) error {
 	fog, err := fognet.NewFogNode(fognet.FogConfig{
 		Name:          name,
 		CloudAddr:     cloudAddr,
 		StreamAddr:    addr,
 		Capacity:      capacity,
 		FrameInterval: frame,
+		DialTimeout:   dialTimeout,
 	})
 	if err != nil {
 		return err
@@ -62,9 +64,10 @@ func run(name, cloudAddr, addr string, capacity int, frame, statsEvery time.Dura
 			return nil
 		case <-tickCh:
 			s := fog.Stats()
-			fmt.Printf("fogsrv %q: tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d\n",
+			fmt.Printf("fogsrv %q: tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d\n",
 				name, s.ReplicaTick, s.Attached, s.Frames,
-				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas)
+				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas,
+				s.Resilience.Reconnects)
 		}
 	}
 }

@@ -24,26 +24,28 @@ func main() {
 	gameID := flag.Int("game", 3, "game ID from the Table 2 catalog (1-5)")
 	adapt := flag.Bool("adapt", false, "enable receiver-driven rate adaptation")
 	duration := flag.Duration("duration", 30*time.Second, "how long to play (0 = until interrupted)")
+	dialTimeout := flag.Duration("dial-timeout", fognet.DefaultDialTimeout, "connect/attach handshake timeout")
 	seed := flag.Uint64("seed", 1, "input generator seed")
 	flag.Parse()
 
-	if err := run(*id, *cloudAddr, *gameID, *adapt, *duration, *seed); err != nil {
+	if err := run(*id, *cloudAddr, *gameID, *adapt, *duration, *dialTimeout, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(id int, cloudAddr string, gameID int, adapt bool, duration time.Duration, seed uint64) error {
+func run(id int, cloudAddr string, gameID int, adapt bool, duration, dialTimeout time.Duration, seed uint64) error {
 	catalog := game.Catalog()
 	if gameID < 1 || gameID > len(catalog) {
 		return fmt.Errorf("game ID %d out of range 1..%d", gameID, len(catalog))
 	}
 	g := catalog[gameID-1]
 	player, err := fognet.NewPlayerClient(fognet.PlayerConfig{
-		PlayerID:  int32(id),
-		CloudAddr: cloudAddr,
-		Game:      g,
-		Adapt:     adapt,
-		Seed:      seed,
+		PlayerID:    int32(id),
+		CloudAddr:   cloudAddr,
+		Game:        g,
+		Adapt:       adapt,
+		DialTimeout: dialTimeout,
+		Seed:        seed,
 	})
 	if err != nil {
 		return err
@@ -78,7 +80,8 @@ func run(id int, cloudAddr string, gameID int, adapt bool, duration time.Duratio
 func printStats(player *fognet.PlayerClient, start time.Time) {
 	s := player.Stats()
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("playercli: %5.1fs frames=%d (%.1f fps) video=%.0f kbps L%d switches=%d errors=%d tick=%d\n",
+	fmt.Printf("playercli: %5.1fs frames=%d (%.1f fps) video=%.0f kbps L%d switches=%d errors=%d tick=%d migrations=%d fallbacks=%d stall=%dms\n",
 		elapsed, s.Frames, float64(s.Frames)/elapsed,
-		float64(s.VideoBits)/elapsed/1000, s.Level, s.RateSwitches, s.DecodeErrors, s.LastTick)
+		float64(s.VideoBits)/elapsed/1000, s.Level, s.RateSwitches, s.DecodeErrors, s.LastTick,
+		s.Migrations, s.FallbackTransitions, s.StallMs)
 }

@@ -1,0 +1,193 @@
+// Chaos demo: the CloudFog prototype surviving the failures §3.2 worries
+// about, with every fault injected deterministically through
+// internal/faultnet (same seed, same run).
+//
+// The script:
+//
+//  1. Boot the three tiers and stream normally for a moment.
+//  2. Partition fog-alpha from the cloud (a blackhole: packets vanish,
+//     sockets stay open). Only the liveness protocol can see this — the
+//     cloud misses heartbeat acks and evicts the supernode, then pushes a
+//     refreshed failover ladder to every player.
+//  3. Heal the partition. Fog-alpha observes the dead connection, redials
+//     with jittered exponential backoff, and resyncs its replica from the
+//     welcome snapshot.
+//  4. Kill whichever supernode is serving the player outright. The
+//     player's video read deadline fires and it walks the failover ladder
+//     to the surviving supernode, with the downtime accounted as stall.
+//  5. Print the resilience counters from all three tiers.
+//
+// Run with:
+//
+//	go run ./examples/chaos [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cloudfog/internal/faultnet"
+	"cloudfog/internal/fognet"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 7, "deterministic fault-injection seed")
+	flag.Parse()
+	if err := run(*seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed uint64) error {
+	cloud, err := fognet.NewCloudServer(fognet.CloudConfig{
+		TickInterval:      20 * time.Millisecond,
+		NPCs:              6,
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   3,
+	})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	fmt.Printf("cloud    : authoritative world on %s (evicts after 3 missed 100ms heartbeats)\n",
+		cloud.Addr())
+
+	// fog-alpha reaches the cloud through the fault injector: a realistic
+	// link (2ms +/- jitter) that we can partition at will.
+	inj := faultnet.NewInjector(faultnet.Profile{
+		Seed:          seed,
+		AddedLatency:  2 * time.Millisecond,
+		LatencyJitter: time.Millisecond,
+	})
+	alpha, err := fognet.NewFogNode(fognet.FogConfig{
+		Name: "fog-alpha", CloudAddr: cloud.Addr(), Capacity: 2,
+		FrameInterval:    33 * time.Millisecond,
+		ReconnectBackoff: 100 * time.Millisecond,
+		Seed:             seed,
+		Dial:             inj.Dial,
+	})
+	if err != nil {
+		return err
+	}
+	defer alpha.Close()
+	beta, err := fognet.NewFogNode(fognet.FogConfig{
+		Name: "fog-beta", CloudAddr: cloud.Addr(), Capacity: 2,
+		FrameInterval: 33 * time.Millisecond,
+		Seed:          seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer beta.Close()
+	fogs := map[string]*fognet.FogNode{"fog-alpha": alpha, "fog-beta": beta}
+	fmt.Printf("supernode: \"fog-alpha\" on %s (cloud link via fault injector)\n", alpha.StreamAddr())
+	fmt.Printf("supernode: \"fog-beta\"  on %s\n", beta.StreamAddr())
+
+	player, err := fognet.NewPlayerClient(fognet.PlayerConfig{
+		PlayerID:         1,
+		CloudAddr:        cloud.Addr(),
+		VideoReadTimeout: 250 * time.Millisecond,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer player.Close()
+
+	fmt.Println("\n--- phase 1: normal streaming ---")
+	time.Sleep(2 * time.Second)
+	serving := servingFog(fogs)
+	fmt.Printf("player 1 : %d frames decoded, world tick %d, served by %q\n",
+		player.Stats().Frames, player.Stats().LastTick, serving)
+
+	fmt.Println("\n--- phase 2: partition fog-alpha from the cloud (blackhole) ---")
+	inj.SetMode(faultnet.Blackhole)
+	if !waitUntil(5*time.Second, func() bool {
+		return cloud.Stats().Resilience.Evictions >= 1
+	}) {
+		return fmt.Errorf("cloud never evicted the partitioned supernode")
+	}
+	cs := cloud.Stats()
+	fmt.Printf("cloud    : missed heartbeat acks -> evicted fog-alpha (evictions=%d, supernodes=%d)\n",
+		cs.Resilience.Evictions, cs.Supernodes)
+	fmt.Printf("cloud    : pushed refreshed failover ladder to players (updates=%d)\n",
+		cs.Resilience.CandidateUpdates)
+	fmt.Printf("player 1 : candidate updates received=%d, still decoding (frames=%d)\n",
+		player.Stats().CandidateUpdates, player.Stats().Frames)
+
+	fmt.Println("\n--- phase 3: partition heals ---")
+	inj.SetMode(faultnet.Healthy)
+	if !waitUntil(10*time.Second, func() bool {
+		return alpha.Stats().Resilience.Reconnects >= 1 && cloud.Stats().Supernodes == 2
+	}) {
+		return fmt.Errorf("fog-alpha never re-registered")
+	}
+	as := alpha.Stats()
+	fmt.Printf("fog-alpha: saw the dead conn, redialed with backoff (attempts=%d), re-registered\n",
+		as.Resilience.ReconnectAttempts)
+	fmt.Printf("fog-alpha: replica resynced from welcome snapshot, tick %d\n", as.ReplicaTick)
+
+	fmt.Printf("\n--- phase 4: kill %q (the serving supernode) ---\n", serving)
+	migrationsBefore := player.Stats().Migrations
+	fogs[serving].Close()
+	if !waitUntil(10*time.Second, func() bool {
+		return player.Stats().Migrations > migrationsBefore
+	}) {
+		return fmt.Errorf("player never migrated off the dead supernode")
+	}
+	ps := player.Stats()
+	fmt.Printf("player 1 : video read deadline fired -> walked the ladder (migrations=%d, stall=%dms)\n",
+		ps.Migrations, ps.StallMs)
+	framesAt := ps.Frames
+	if !waitUntil(5*time.Second, func() bool {
+		return player.Stats().Frames > framesAt+10
+	}) {
+		return fmt.Errorf("video never resumed after migration")
+	}
+	now := servingFog(fogs)
+	fmt.Printf("player 1 : streaming again from %q (frames=%d)\n", now, player.Stats().Frames)
+
+	fmt.Println("\n--- resilience counters ---")
+	cs = cloud.Stats()
+	fmt.Printf("cloud    : evictions=%d departures=%d heartbeats sent/acked=%d/%d queue drops=%d candidate updates=%d\n",
+		cs.Resilience.Evictions, cs.Resilience.Departures,
+		cs.Resilience.HeartbeatsSent, cs.Resilience.HeartbeatAcks,
+		cs.Resilience.SendQueueDrops, cs.Resilience.CandidateUpdates)
+	for _, name := range []string{"fog-alpha", "fog-beta"} {
+		fs := fogs[name].Stats()
+		fmt.Printf("%-9s: reconnects=%d (attempts=%d) heartbeat acks=%d replica tick=%d\n",
+			name, fs.Resilience.Reconnects, fs.Resilience.ReconnectAttempts,
+			fs.Resilience.HeartbeatAcks, fs.ReplicaTick)
+	}
+	fmt.Printf("player 1 : migrations=%d fallbacks=%d stall=%dms candidate updates=%d frames=%d\n",
+		ps.Migrations, ps.FallbackTransitions, ps.StallMs, ps.CandidateUpdates, player.Stats().Frames)
+	is := inj.Stats()
+	fmt.Printf("injector : conns=%d writes=%d discarded=%d delayed=%dms (seed %d — rerun for the identical schedule)\n",
+		is.Conns, is.Writes, is.DiscardedWrites, is.DelayedMs, seed)
+	return nil
+}
+
+// servingFog names the fog currently streaming to the player, or "cloud
+// fallback" if none is.
+func servingFog(fogs map[string]*fognet.FogNode) string {
+	for name, fog := range fogs {
+		if fog.Stats().Attached > 0 {
+			return name
+		}
+	}
+	return "cloud fallback"
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}

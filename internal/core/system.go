@@ -666,7 +666,7 @@ func (s *System) linkFor(p *Player, clock sim.Clock) (streaming.Link, float64) {
 	case srcCDN:
 		srv := s.cdn[p.cdnServer]
 		srcEp = srv.Endpoint
-		perStream = srv.Endpoint.UploadKbps / float64(maxInt(1, len(srv.players)))
+		perStream = srv.Endpoint.UploadKbps / float64(max(1, len(srv.players)))
 		if perStream > s.cfg.ServerStreamKbps {
 			perStream = s.cfg.ServerStreamKbps
 		}
@@ -774,11 +774,4 @@ func (s *System) decisionRand(purpose string, playerID, cycle, subcycle int) *rn
 	h = (h ^ uint64(cycle)) * 0x100000001b3
 	h = (h ^ uint64(subcycle)) * 0x100000001b3
 	return rng.New(h)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,478 @@
+// Package faultnet provides deterministic fault injection for net.Conn and
+// net.Listener, so the networked CloudFog prototype can be exercised under
+// the failure modes the paper's supernode tier actually exhibits: contributed
+// desktops that slow down, silently vanish, freeze mid-stream, or reset
+// connections (§3.2.2 churn handling).
+//
+// An Injector wraps connections and applies a Profile to every byte that
+// crosses them:
+//
+//   - added one-way latency with jitter,
+//   - a bandwidth cap (transmission-time shaping),
+//   - probabilistic transitions into fault modes, and
+//   - explicit, test-driven mode changes (Blackhole, Stall, Reset,
+//     partitions) that apply to all wrapped connections at once.
+//
+// All randomness comes from internal/rng seeded by Profile.Seed: the
+// sequence of fault decisions is reproducible bit-for-bit, which is what
+// makes chaos tests assertable. Wrapped connections honor read and write
+// deadlines even while a fault mode blocks them, so protocol code that
+// defends itself with SetDeadline sees exactly the timeout it asked for.
+//
+// Fault modes model distinct real-world failures of a TCP peer:
+//
+//   - Blackhole: a silently dead peer. Writes succeed locally but are
+//     discarded; reads stall. The peer sees silence — only liveness
+//     heartbeats or read deadlines can detect this.
+//   - Stall: a frozen peer (zero-window). Writes block; reads stall. Only
+//     write deadlines and bounded send queues defend against this.
+//   - Reset: an abrupt connection reset. Reads and writes fail immediately
+//     and the underlying connection is closed.
+//
+// Healing a partition (back to Healthy) wakes all blocked readers/writers.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"cloudfog/internal/rng"
+)
+
+// Mode is the fault state of a connection.
+type Mode int
+
+// Fault modes.
+const (
+	// Healthy delivers traffic, subject to latency and bandwidth shaping.
+	Healthy Mode = iota
+	// Blackhole discards writes and stalls reads (silently dead peer).
+	Blackhole
+	// Stall blocks writes and reads until healed (frozen peer).
+	Stall
+	// Reset fails reads and writes immediately (abrupt connection reset).
+	Reset
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case Blackhole:
+		return "blackhole"
+	case Stall:
+		return "stall"
+	case Reset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrReset is returned by reads and writes on a reset connection.
+var ErrReset = errors.New("faultnet: connection reset")
+
+// timeoutError implements net.Error with Timeout() == true, matching what
+// deadline-aware callers expect from a real net.Conn.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrTimeout is the deadline-exceeded error for faultnet-blocked operations.
+var ErrTimeout net.Error = timeoutError{}
+
+// Profile parameterizes an Injector.
+type Profile struct {
+	// Seed drives every probabilistic decision; identical seeds replay
+	// identical fault sequences.
+	Seed uint64
+	// AddedLatency is extra one-way delay applied to each write.
+	AddedLatency time.Duration
+	// LatencyJitter adds a uniform [0, LatencyJitter) component on top.
+	LatencyJitter time.Duration
+	// BandwidthKbps caps throughput; writes are delayed by their
+	// transmission time at this rate. 0 means unlimited.
+	BandwidthKbps float64
+	// DropRate is the per-write probability that the connection silently
+	// transitions to Blackhole (a vanished peer).
+	DropRate float64
+	// ResetRate is the per-write probability that the connection
+	// transitions to Reset (an abrupt RST).
+	ResetRate float64
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	// Conns is the number of connections ever wrapped.
+	Conns int
+	// Writes is the number of Write calls observed.
+	Writes int64
+	// DiscardedWrites counts writes swallowed by Blackhole mode.
+	DiscardedWrites int64
+	// Resets counts connections that entered Reset mode.
+	Resets int64
+	// Blackholes counts connections that entered Blackhole mode.
+	Blackholes int64
+	// DelayedMs is the cumulative injected delay (latency + bandwidth).
+	DelayedMs int64
+}
+
+// Injector wraps connections and injects the Profile's faults. All wrapped
+// connections share one deterministic decision stream and respond together
+// to SetMode/SetPartitioned.
+type Injector struct {
+	mu      sync.Mutex
+	profile Profile
+	r       *rng.Rand
+	conns   map[*Conn]struct{}
+	stats   Stats
+}
+
+// NewInjector builds an Injector for the profile.
+func NewInjector(p Profile) *Injector {
+	return &Injector{
+		profile: p,
+		r:       rng.New(p.Seed),
+		conns:   make(map[*Conn]struct{}),
+	}
+}
+
+// WrapConn wraps an established connection.
+func (in *Injector) WrapConn(c net.Conn) *Conn {
+	fc := &Conn{
+		inner:  c,
+		inj:    in,
+		healCh: make(chan struct{}),
+		closed: make(chan struct{}),
+	}
+	in.mu.Lock()
+	in.conns[fc] = struct{}{}
+	in.stats.Conns++
+	in.mu.Unlock()
+	return fc
+}
+
+// Dial dials through the injector: the returned connection is wrapped.
+func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+// WrapListener wraps a listener so every accepted connection is injected.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, inj: in}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.WrapConn(c), nil
+}
+
+// SetMode forces every wrapped connection into the mode. Healing to
+// Healthy wakes connections blocked by Blackhole or Stall; Reset closes
+// them permanently.
+func (in *Injector) SetMode(m Mode) {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.SetMode(m)
+	}
+}
+
+// SetPartitioned toggles a network partition: true blackholes every
+// connection, false heals them.
+func (in *Injector) SetPartitioned(p bool) {
+	if p {
+		in.SetMode(Blackhole)
+	} else {
+		in.SetMode(Healthy)
+	}
+}
+
+// Stats snapshots the injector counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// decide draws the per-write fault decision deterministically. It returns
+// the mode the write should transition the connection into (Healthy means
+// no transition) and the injected delay for a healthy write of n bytes.
+func (in *Injector) decide(n int) (Mode, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Writes++
+	p := in.profile
+	if p.ResetRate > 0 && in.r.Bool(p.ResetRate) {
+		return Reset, 0
+	}
+	if p.DropRate > 0 && in.r.Bool(p.DropRate) {
+		return Blackhole, 0
+	}
+	delay := p.AddedLatency
+	if p.LatencyJitter > 0 {
+		delay += time.Duration(in.r.Uniform(0, float64(p.LatencyJitter)))
+	}
+	if p.BandwidthKbps > 0 {
+		tx := time.Duration(float64(n*8) / p.BandwidthKbps * float64(time.Millisecond))
+		delay += tx
+	}
+	return Healthy, delay
+}
+
+func (in *Injector) addDelay(d time.Duration) {
+	in.mu.Lock()
+	in.stats.DelayedMs += d.Milliseconds()
+	in.mu.Unlock()
+}
+
+func (in *Injector) noteMode(m Mode) {
+	in.mu.Lock()
+	switch m {
+	case Reset:
+		in.stats.Resets++
+	case Blackhole:
+		in.stats.Blackholes++
+	}
+	in.mu.Unlock()
+}
+
+func (in *Injector) noteDiscard() {
+	in.mu.Lock()
+	in.stats.DiscardedWrites++
+	in.mu.Unlock()
+}
+
+func (in *Injector) forget(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+}
+
+// Conn is a fault-injected connection.
+type Conn struct {
+	inner net.Conn
+	inj   *Injector
+
+	mu        sync.Mutex
+	mode      Mode
+	healCh    chan struct{} // replaced and closed on every mode change
+	closed    chan struct{}
+	closeOnce sync.Once
+	rdl, wdl  time.Time // deadlines mirrored for faultnet-level blocking
+	nextFree  time.Time // bandwidth shaping: when the link is free again
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Mode returns the connection's current fault mode.
+func (c *Conn) Mode() Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// SetMode transitions this connection alone and wakes anything blocked on
+// it; use Injector.SetMode to transition every wrapped connection.
+func (c *Conn) SetMode(m Mode) {
+	c.mu.Lock()
+	if c.mode == m {
+		c.mu.Unlock()
+		return
+	}
+	c.mode = m
+	close(c.healCh)
+	c.healCh = make(chan struct{})
+	c.mu.Unlock()
+	c.inj.noteMode(m)
+	if m == Reset {
+		c.inner.Close()
+	}
+}
+
+// await blocks until the connection leaves blocking modes, the deadline
+// passes, or the connection closes. It returns the mode to act on.
+func (c *Conn) await(deadline time.Time) (Mode, error) {
+	for {
+		c.mu.Lock()
+		m := c.mode
+		heal := c.healCh
+		c.mu.Unlock()
+		if m == Healthy || m == Reset {
+			return m, nil
+		}
+		var timer <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return m, ErrTimeout
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timer = t.C
+		}
+		select {
+		case <-heal:
+		case <-c.closed:
+			return m, net.ErrClosed
+		case <-timer:
+			return m, ErrTimeout
+		}
+	}
+}
+
+// sleep waits for the injected delay, cut short by the deadline or close.
+func (c *Conn) sleep(d time.Duration, deadline time.Time) error {
+	if d <= 0 {
+		return nil
+	}
+	c.inj.addDelay(d)
+	if !deadline.IsZero() {
+		if remain := time.Until(deadline); remain < d {
+			if remain > 0 {
+				t := time.NewTimer(remain)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-c.closed:
+					return net.ErrClosed
+				}
+			}
+			return ErrTimeout
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// Write applies the fault decision, shapes the traffic, and forwards.
+func (c *Conn) Write(b []byte) (int, error) {
+	next, delay := c.inj.decide(len(b))
+	if next != Healthy {
+		c.SetMode(next)
+	}
+	c.mu.Lock()
+	mode := c.mode
+	wdl := c.wdl
+	c.mu.Unlock()
+	switch mode {
+	case Reset:
+		return 0, ErrReset
+	case Blackhole:
+		c.inj.noteDiscard()
+		return len(b), nil
+	case Stall:
+		m, err := c.await(wdl)
+		if err != nil {
+			return 0, err
+		}
+		if m == Reset {
+			return 0, ErrReset
+		}
+	}
+	// Bandwidth shaping serializes writes on the virtual link.
+	c.mu.Lock()
+	now := time.Now()
+	start := now
+	if c.nextFree.After(now) {
+		start = c.nextFree
+	}
+	c.nextFree = start.Add(delay)
+	wait := c.nextFree.Sub(now)
+	c.mu.Unlock()
+	if err := c.sleep(wait, wdl); err != nil {
+		return 0, err
+	}
+	return c.inner.Write(b)
+}
+
+// Read stalls in Blackhole/Stall modes, otherwise forwards.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	mode := c.mode
+	rdl := c.rdl
+	c.mu.Unlock()
+	if mode == Reset {
+		return 0, ErrReset
+	}
+	if mode == Blackhole || mode == Stall {
+		m, err := c.await(rdl)
+		if err != nil {
+			return 0, err
+		}
+		if m == Reset {
+			return 0, ErrReset
+		}
+	}
+	return c.inner.Read(b)
+}
+
+// Close closes the connection and wakes all blocked operations.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.inj.forget(c)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors the deadline for faultnet-level blocking and
+// forwards it to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline mirrors the deadline for faultnet-level blocking and
+// forwards it to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

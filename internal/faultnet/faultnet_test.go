@@ -1,0 +1,290 @@
+package faultnet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns two ends of a real TCP connection on loopback, with the
+// server end wrapped by the injector.
+func pipe(t *testing.T, in *Injector) (wrapped *Conn, peer net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	w := in.WrapConn(server)
+	t.Cleanup(func() { w.Close(); client.Close() })
+	return w, client
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	in := NewInjector(Profile{Seed: 1})
+	w, peer := pipe(t, in)
+	msg := []byte("hello fog")
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := peer.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q want %q", buf, msg)
+	}
+	if s := in.Stats(); s.Writes != 1 || s.Conns != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestAddedLatencyDelaysWrites(t *testing.T) {
+	in := NewInjector(Profile{Seed: 2, AddedLatency: 30 * time.Millisecond})
+	w, peer := pipe(t, in)
+	start := time.Now()
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("write returned after %v, want >= ~30ms", elapsed)
+	}
+	buf := make([]byte, 1)
+	if _, err := peer.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := in.Stats(); s.DelayedMs < 25 {
+		t.Errorf("DelayedMs = %d", s.DelayedMs)
+	}
+}
+
+func TestBandwidthCapShapesThroughput(t *testing.T) {
+	// 80 kbps: a 1000-byte write is 8000 bits -> 100 ms transmission time.
+	in := NewInjector(Profile{Seed: 3, BandwidthKbps: 80})
+	w, peer := pipe(t, in)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := w.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("1000B at 80kbps took %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestBlackholeDiscardsWritesAndStallsReads(t *testing.T) {
+	in := NewInjector(Profile{Seed: 4})
+	w, peer := pipe(t, in)
+	in.SetMode(Blackhole)
+	// Writes succeed locally but never reach the peer.
+	if _, err := w.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	peer.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := peer.Read(buf); err == nil {
+		t.Error("blackholed write was delivered")
+	}
+	// Reads stall until the deadline.
+	w.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := w.Read(buf)
+	if err == nil {
+		t.Fatal("blackholed read returned data")
+	}
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Errorf("want timeout error, got %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("read returned before deadline")
+	}
+	if s := in.Stats(); s.DiscardedWrites != 1 || s.Blackholes != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestStallBlocksWritesUntilHealed(t *testing.T) {
+	in := NewInjector(Profile{Seed: 5})
+	w, peer := pipe(t, in)
+	in.SetMode(Stall)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("held"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.SetMode(Healthy)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := peer.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallHonorsWriteDeadline(t *testing.T) {
+	in := NewInjector(Profile{Seed: 6})
+	w, _ := pipe(t, in)
+	in.SetMode(Stall)
+	w.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := w.Write([]byte("x"))
+	if err == nil {
+		t.Fatal("stalled write succeeded")
+	}
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Errorf("want timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("deadline fired after %v", elapsed)
+	}
+}
+
+func TestResetFailsImmediately(t *testing.T) {
+	in := NewInjector(Profile{Seed: 7})
+	w, _ := pipe(t, in)
+	in.SetMode(Reset)
+	if _, err := w.Write([]byte("x")); err != ErrReset {
+		t.Errorf("write err = %v, want ErrReset", err)
+	}
+	if _, err := w.Read(make([]byte, 1)); err != ErrReset {
+		t.Errorf("read err = %v, want ErrReset", err)
+	}
+}
+
+func TestPartitionHeals(t *testing.T) {
+	in := NewInjector(Profile{Seed: 8})
+	w, peer := pipe(t, in)
+	in.SetPartitioned(true)
+	if _, err := w.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	in.SetPartitioned(false)
+	if _, err := w.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := peer.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "back" {
+		t.Errorf("got %q after heal, want \"back\"", buf)
+	}
+}
+
+func TestProbabilisticDropIsDeterministic(t *testing.T) {
+	// Two injectors with the same seed must blackhole on exactly the same
+	// write index.
+	countUntilDrop := func(seed uint64) int {
+		in := NewInjector(Profile{Seed: seed, DropRate: 0.1})
+		w, peer := pipe(t, in)
+		go func() {
+			buf := make([]byte, 64)
+			for {
+				if _, err := peer.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		for i := 1; i <= 1000; i++ {
+			w.Write([]byte("probe"))
+			if w.Mode() == Blackhole {
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := countUntilDrop(42), countUntilDrop(42)
+	if a != b {
+		t.Errorf("same seed diverged: drop at write %d vs %d", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("DropRate 0.1 never dropped in 1000 writes (a=%d)", a)
+	}
+	if c := countUntilDrop(43); c == a {
+		t.Logf("different seed coincidentally dropped at same index %d", c)
+	}
+}
+
+func TestDialAndListenerWrap(t *testing.T) {
+	in := NewInjector(Profile{Seed: 9})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := in.WrapListener(ln)
+	defer wrapped.Close()
+	go func() {
+		c, aerr := wrapped.Accept()
+		if aerr != nil {
+			return
+		}
+		c.Write([]byte("hi"))
+		c.Close()
+	}()
+	c, err := in.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stats().Conns != 2 {
+		t.Errorf("conns = %d, want 2 (accepted + dialed)", in.Stats().Conns)
+	}
+}
+
+func TestCloseWakesBlockedOperations(t *testing.T) {
+	in := NewInjector(Profile{Seed: 10})
+	w, _ := pipe(t, in)
+	in.SetMode(Stall)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read on closed conn succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake blocked read")
+	}
+}

@@ -11,6 +11,14 @@
 // stream them; players drive the receiver-driven rate adaptation of §3.3
 // against the measured delivery rate.
 //
+// Supernodes are contributed desktops (§3.2.2), so every tier defends
+// itself: the cloud heartbeats supernodes and evicts the silent ones, the
+// per-supernode send queues are bounded and writes carry deadlines (one
+// stalled supernode cannot stall the Λ fan-out), fog nodes reconnect to
+// the cloud with jittered exponential backoff and resync their replicas,
+// and players enforce read deadlines on the video stream and fail over
+// down the ladder serving supernode → candidates → cloud fallback.
+//
 // All components follow the same lifecycle contract: a constructor that
 // starts listening, a Start/run goroutine owned by the component, and a
 // Close that stops every goroutine and waits for them to exit.
@@ -31,6 +39,28 @@ import (
 // DefaultTickInterval is the world tick period (20 Hz).
 const DefaultTickInterval = 50 * time.Millisecond
 
+// Liveness and robustness defaults. Tests lower the intervals.
+const (
+	// DefaultHeartbeatInterval is how often the cloud pings supernodes.
+	DefaultHeartbeatInterval = time.Second
+	// DefaultHeartbeatMisses is how many unanswered heartbeats evict a
+	// supernode.
+	DefaultHeartbeatMisses = 3
+	// DefaultWriteTimeout bounds any single protocol write.
+	DefaultWriteTimeout = 2 * time.Second
+	// DefaultSendQueueLen bounds the per-supernode outbound queue.
+	DefaultSendQueueLen = 64
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 5 * time.Second
+	// handshakeTimeout bounds the first message of a new connection, so a
+	// connect-and-hang client cannot pin a handler goroutine forever.
+	handshakeTimeout = 5 * time.Second
+)
+
+// DialFunc establishes an outbound connection; it exists so tests and the
+// chaos demo can route dials through faultnet injectors.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
 // CloudConfig parameterizes a CloudServer.
 type CloudConfig struct {
 	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
@@ -42,6 +72,22 @@ type CloudConfig struct {
 	WorldWidth, WorldHeight float64
 	// NPCs seeds the world with this many NPCs on a grid.
 	NPCs int
+	// HeartbeatInterval is the supernode liveness ping period. Defaults
+	// to DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive unanswered heartbeats evict
+	// a supernode. Defaults to DefaultHeartbeatMisses.
+	HeartbeatMisses int
+	// WriteTimeout bounds every protocol write. Defaults to
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// SendQueueLen bounds the per-supernode outbound queue; when it is
+	// full, further messages are dropped (and counted) rather than
+	// blocking the tick loop. Defaults to DefaultSendQueueLen.
+	SendQueueLen int
+	// WrapConn, when set, wraps every accepted connection — the faultnet
+	// injection point for chaos tests.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // CloudServer is the authoritative game-state tier.
@@ -54,15 +100,40 @@ type CloudServer struct {
 	pending       []virtualworld.Action
 	supernodes    map[uint32]*supernodeConn
 	nextSNID      uint32
-	players       map[int32]net.Conn
+	players       map[int32]*playerConn
 	updateBits    int64
 	ticks         int64
 	fallbackBits  int64
 	fallbackCount int64
 	fallbackLive  int
+	hbSeq         uint32
+	resil         CloudResilience
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// CloudResilience groups the cloud's failure-handling counters.
+type CloudResilience struct {
+	// Evictions counts supernodes removed for missed heartbeats.
+	Evictions int64
+	// Departures counts supernodes whose connection simply closed.
+	Departures int64
+	// HeartbeatsSent / HeartbeatAcks count the liveness traffic.
+	HeartbeatsSent int64
+	HeartbeatAcks  int64
+	// SendQueueDrops counts messages dropped because a supernode's
+	// bounded send queue was full — the stalls that never reached the
+	// tick loop.
+	SendQueueDrops int64
+	// CandidateUpdates counts failover-ladder refreshes pushed to
+	// players.
+	CandidateUpdates int64
+}
+
+type outMsg struct {
+	typ     protocol.MsgType
+	payload []byte
 }
 
 type supernodeConn struct {
@@ -71,7 +142,18 @@ type supernodeConn struct {
 	streamAddr string
 	capacity   int
 	conn       net.Conn
-	sendMu     sync.Mutex
+	sendQ      chan outMsg
+	done       chan struct{}
+	stopOnce   sync.Once
+	// missed counts consecutive unanswered heartbeats (cloud mu).
+	missed int
+}
+
+// playerConn is a player's control connection; sendMu serializes the
+// cloud's pushes (join reply, candidate updates) onto it.
+type playerConn struct {
+	conn   net.Conn
+	sendMu sync.Mutex
 }
 
 // NewCloudServer starts a cloud server listening on cfg.Addr.
@@ -82,6 +164,18 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = DefaultTickInterval
 	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.SendQueueLen <= 0 {
+		cfg.SendQueueLen = DefaultSendQueueLen
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cloud listen: %w", err)
@@ -91,7 +185,7 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 		listener:   ln,
 		world:      virtualworld.New(cfg.WorldWidth, cfg.WorldHeight),
 		supernodes: make(map[uint32]*supernodeConn),
-		players:    make(map[int32]net.Conn),
+		players:    make(map[int32]*playerConn),
 		nextSNID:   1,
 		stop:       make(chan struct{}),
 	}
@@ -102,9 +196,10 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 			height*float64(i/4+1)/5,
 		)
 	}
-	s.wg.Add(2)
+	s.wg.Add(3)
 	go s.acceptLoop()
 	go s.tickLoop()
+	go s.heartbeatLoop()
 	return s, nil
 }
 
@@ -121,15 +216,26 @@ func (s *CloudServer) Close() error {
 	close(s.stop)
 	err := s.listener.Close()
 	s.mu.Lock()
+	sns := make([]*supernodeConn, 0, len(s.supernodes))
 	for _, sn := range s.supernodes {
-		sn.conn.Close()
+		sns = append(sns, sn)
 	}
-	for _, c := range s.players {
-		c.Close()
+	for _, p := range s.players {
+		p.conn.Close()
 	}
 	s.mu.Unlock()
+	for _, sn := range sns {
+		sn.shutdown()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// shutdown stops the supernode's writer and closes its connection; safe to
+// call more than once.
+func (sn *supernodeConn) shutdown() {
+	sn.stopOnce.Do(func() { close(sn.done) })
+	sn.conn.Close()
 }
 
 // Stats reports cloud-side counters.
@@ -151,6 +257,8 @@ type CloudStats struct {
 	FallbackPlayers int
 	// FallbackFrames is the total frames the cloud rendered itself.
 	FallbackFrames int64
+	// Resilience groups the failure-handling counters.
+	Resilience CloudResilience
 }
 
 // Stats snapshots the counters.
@@ -166,6 +274,7 @@ func (s *CloudServer) Stats() CloudStats {
 		FallbackBits:    s.fallbackBits,
 		FallbackPlayers: s.fallbackLive,
 		FallbackFrames:  s.fallbackCount,
+		Resilience:      s.resil,
 	}
 }
 
@@ -175,6 +284,9 @@ func (s *CloudServer) acceptLoop() {
 		conn, err := s.listener.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.cfg.WrapConn != nil {
+			conn = s.cfg.WrapConn(conn)
 		}
 		s.wg.Add(1)
 		go s.handleConn(conn)
@@ -214,32 +326,169 @@ func (s *CloudServer) tickOnce() {
 	}
 	batch := protocol.UpdateBatch{Tick: tick, Deltas: deltas}
 	payload := batch.Marshal()
-	var bits int64
 	for _, sn := range sns {
-		sn.sendMu.Lock()
-		err := protocol.WriteMessage(sn.conn, protocol.MsgUpdateBatch, payload)
-		sn.sendMu.Unlock()
-		if err != nil {
-			// The read loop of this supernode connection will observe the
-			// failure and unregister it.
+		// Enqueue only: the per-supernode writer goroutine does the
+		// blocking work, so a stalled supernode can never stall this
+		// fan-out.
+		s.enqueue(sn, outMsg{protocol.MsgUpdateBatch, payload})
+	}
+}
+
+// enqueue offers a message to the supernode's bounded send queue without
+// ever blocking; full queues drop (and count) the message.
+func (s *CloudServer) enqueue(sn *supernodeConn, m outMsg) bool {
+	select {
+	case sn.sendQ <- m:
+		return true
+	default:
+		s.mu.Lock()
+		s.resil.SendQueueDrops++
+		s.mu.Unlock()
+		return false
+	}
+}
+
+// snWriter is the single writer for one supernode connection. Every write
+// carries a deadline; the first failure closes the connection, which the
+// read loop observes and unregisters.
+func (s *CloudServer) snWriter(sn *supernodeConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-sn.done:
+			return
+		case m := <-sn.sendQ:
+			sn.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := protocol.WriteMessage(sn.conn, m.typ, m.payload); err != nil {
+				sn.conn.Close()
+				return
+			}
+			if m.typ == protocol.MsgUpdateBatch {
+				s.mu.Lock()
+				s.updateBits += int64(len(m.payload)+5) * 8
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// heartbeatLoop pings every supernode each interval and evicts the ones
+// that miss cfg.HeartbeatMisses consecutive replies (§3.2.2: supernodes
+// are unreliable contributed desktops; the cloud must notice churn).
+func (s *CloudServer) heartbeatLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.heartbeatOnce()
+		}
+	}
+}
+
+func (s *CloudServer) heartbeatOnce() {
+	s.mu.Lock()
+	s.hbSeq++
+	seq := s.hbSeq
+	var ping, evict []*supernodeConn
+	for _, sn := range s.supernodes {
+		if sn.missed >= s.cfg.HeartbeatMisses {
+			evict = append(evict, sn)
 			continue
 		}
-		bits += int64(len(payload)+5) * 8
+		sn.missed++
+		ping = append(ping, sn)
+	}
+	s.resil.HeartbeatsSent += int64(len(ping))
+	s.mu.Unlock()
+
+	payload := protocol.Heartbeat{Seq: seq}.Marshal()
+	for _, sn := range ping {
+		s.enqueue(sn, outMsg{protocol.MsgHeartbeat, payload})
+	}
+	for _, sn := range evict {
+		s.unregisterSupernode(sn, true)
+	}
+}
+
+// unregisterSupernode removes a supernode (eviction or departure), stops
+// its writer, and pushes the refreshed candidate ladder to every player.
+func (s *CloudServer) unregisterSupernode(sn *supernodeConn, evicted bool) {
+	s.mu.Lock()
+	cur, present := s.supernodes[sn.id]
+	if present && cur == sn {
+		delete(s.supernodes, sn.id)
+		if evicted {
+			s.resil.Evictions++
+		} else {
+			s.resil.Departures++
+		}
+	} else {
+		present = false
+	}
+	s.mu.Unlock()
+	sn.shutdown()
+	if present {
+		s.broadcastCandidates()
+	}
+}
+
+// candidateLadder snapshots the current failover ladder under mu.
+func (s *CloudServer) candidateLadder() []string {
+	addrs := make([]string, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		addrs = append(addrs, sn.streamAddr)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// broadcastCandidates pushes the current ladder to every admitted player,
+// best-effort with write deadlines, so migrations never chase a stale
+// address list.
+func (s *CloudServer) broadcastCandidates() {
+	s.mu.Lock()
+	update := protocol.CandidateUpdate{
+		SupernodeAddrs:  s.candidateLadder(),
+		CloudStreamAddr: s.Addr(),
+	}
+	players := make([]*playerConn, 0, len(s.players))
+	for _, p := range s.players {
+		players = append(players, p)
+	}
+	s.mu.Unlock()
+	payload := update.Marshal()
+	var sent int64
+	for _, p := range players {
+		p.sendMu.Lock()
+		p.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		err := protocol.WriteMessage(p.conn, protocol.MsgCandidateUpdate, payload)
+		p.conn.SetWriteDeadline(time.Time{})
+		p.sendMu.Unlock()
+		if err == nil {
+			sent++
+		}
 	}
 	s.mu.Lock()
-	s.updateBits += bits
+	s.resil.CandidateUpdates += sent
 	s.mu.Unlock()
 }
 
 // handleConn dispatches on the first message: supernode registration or
-// player admission.
+// player admission. The first message carries a deadline so a silent
+// connection cannot pin this goroutine.
 func (s *CloudServer) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	typ, payload, err := protocol.ReadMessage(conn)
 	if err != nil {
 		conn.Close()
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
 	switch typ {
 	case protocol.MsgSupernodeHello:
 		s.serveSupernode(conn, payload)
@@ -263,10 +512,12 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 	if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
 		return
 	}
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	typ, payload, err := protocol.ReadMessage(conn)
 	if err != nil || typ != protocol.MsgPlayerAttach {
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
 	attach, err := protocol.UnmarshalPlayerAttach(payload)
 	if err != nil {
 		return
@@ -283,7 +534,7 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	runVideoSession(conn, attach.PlayerID, game.QualityLevel(attach.QualityLevel),
-		DefaultFrameInterval, s, cloudFallbackCounters{s}, s.stop, &s.wg)
+		DefaultFrameInterval, s.cfg.WriteTimeout, s, cloudFallbackCounters{s}, s.stop, &s.wg)
 }
 
 // currentSnapshot implements snapshotSource over the authoritative world.
@@ -317,28 +568,45 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 		streamAddr: hello.StreamAddr,
 		capacity:   hello.Capacity,
 		conn:       conn,
+		sendQ:      make(chan outMsg, s.cfg.SendQueueLen),
+		done:       make(chan struct{}),
 	}
 	s.nextSNID++
 	s.supernodes[sn.id] = sn
 	welcome := protocol.SupernodeWelcome{SupernodeID: sn.id, Snapshot: s.world.Snapshot()}
 	s.mu.Unlock()
 
-	sn.sendMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	err = protocol.WriteMessage(conn, protocol.MsgSupernodeWelcome, welcome.Marshal())
-	sn.sendMu.Unlock()
-	if err == nil {
-		// Block on the connection until the supernode leaves; it sends
-		// nothing further (updates flow the other way).
-		for {
-			if _, _, rerr := protocol.ReadMessage(conn); rerr != nil {
-				break
-			}
-		}
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		s.unregisterSupernode(sn, false)
+		return
 	}
-	s.mu.Lock()
-	delete(s.supernodes, sn.id)
-	s.mu.Unlock()
-	conn.Close()
+	// The new supernode changes every player's best failover ladder.
+	s.broadcastCandidates()
+	s.wg.Add(1)
+	go s.snWriter(sn)
+
+	// Read loop: heartbeat acks flow back here; anything else is ignored.
+	// A read error means the supernode left or was evicted.
+	for {
+		typ, payload, rerr := protocol.ReadMessage(conn)
+		if rerr != nil {
+			break
+		}
+		if typ != protocol.MsgHeartbeatAck {
+			continue
+		}
+		if _, aerr := protocol.UnmarshalHeartbeatAck(payload); aerr != nil {
+			continue
+		}
+		s.mu.Lock()
+		sn.missed = 0
+		s.resil.HeartbeatAcks++
+		s.mu.Unlock()
+	}
+	s.unregisterSupernode(sn, false)
 }
 
 func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
@@ -347,15 +615,12 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 		conn.Close()
 		return
 	}
+	pc := &playerConn{conn: conn}
 	s.mu.Lock()
 	s.world.SpawnAvatar(int(join.PlayerID), join.SpawnX, join.SpawnY)
-	s.players[join.PlayerID] = conn
+	s.players[join.PlayerID] = pc
 	// Candidate list: registered supernode stream addresses, stable order.
-	addrs := make([]string, 0, len(s.supernodes))
-	for _, sn := range s.supernodes {
-		addrs = append(addrs, sn.streamAddr)
-	}
-	sort.Strings(addrs)
+	addrs := s.candidateLadder()
 	s.mu.Unlock()
 
 	reply := protocol.JoinReply{
@@ -363,8 +628,13 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 		SupernodeAddrs:  addrs,
 		CloudStreamAddr: s.Addr(),
 	}
-	if err := protocol.WriteMessage(conn, protocol.MsgJoinReply, reply.Marshal()); err != nil {
-		s.dropPlayer(join.PlayerID, conn)
+	pc.sendMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err = protocol.WriteMessage(conn, protocol.MsgJoinReply, reply.Marshal())
+	conn.SetWriteDeadline(time.Time{})
+	pc.sendMu.Unlock()
+	if err != nil {
+		s.dropPlayer(join.PlayerID, pc)
 		return
 	}
 
@@ -384,19 +654,19 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 			s.pending = append(s.pending, am.Action)
 			s.mu.Unlock()
 		case protocol.MsgBye:
-			s.dropPlayer(join.PlayerID, conn)
+			s.dropPlayer(join.PlayerID, pc)
 			return
 		}
 	}
-	s.dropPlayer(join.PlayerID, conn)
+	s.dropPlayer(join.PlayerID, pc)
 }
 
-func (s *CloudServer) dropPlayer(id int32, conn net.Conn) {
+func (s *CloudServer) dropPlayer(id int32, pc *playerConn) {
 	s.mu.Lock()
-	if s.players[id] == conn {
+	if s.players[id] == pc {
 		delete(s.players, id)
 		s.world.RemovePlayer(int(id))
 	}
 	s.mu.Unlock()
-	conn.Close()
+	pc.conn.Close()
 }

@@ -8,12 +8,20 @@ import (
 
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
+	"cloudfog/internal/rng"
 	"cloudfog/internal/virtualworld"
 )
 
 // DefaultFrameInterval is the streaming frame period. The paper streams at
 // 30 fps; the prototype default matches, and tests lower it.
 const DefaultFrameInterval = time.Second / 30
+
+// Reconnect backoff defaults: jittered exponential, so a cloud restart is
+// not greeted by a synchronized stampede of supernodes.
+const (
+	DefaultReconnectBackoff    = 200 * time.Millisecond
+	DefaultReconnectBackoffMax = 5 * time.Second
+)
 
 // FogConfig parameterizes a FogNode.
 type FogConfig struct {
@@ -30,28 +38,60 @@ type FogConfig struct {
 	// FrameInterval is the video frame period. Defaults to
 	// DefaultFrameInterval.
 	FrameInterval time.Duration
+	// DialTimeout bounds the cloud dial. Defaults to DefaultDialTimeout.
+	DialTimeout time.Duration
+	// WriteTimeout bounds protocol writes (heartbeat acks, video frames).
+	// Defaults to DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// ReconnectBackoff is the initial delay before redialing a lost
+	// cloud connection; it doubles per attempt up to
+	// ReconnectBackoffMax, with ±50% deterministic jitter.
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// Seed drives the reconnect jitter deterministically.
+	Seed uint64
+	// Dial, when set, replaces net.DialTimeout — the faultnet injection
+	// point for chaos tests.
+	Dial DialFunc
+}
+
+// FogResilience groups the supernode's failure-handling counters.
+type FogResilience struct {
+	// Reconnects counts successful cloud re-registrations after a lost
+	// connection (each one also resyncs the replica).
+	Reconnects int64
+	// ReconnectAttempts counts dial attempts, successful or not.
+	ReconnectAttempts int64
+	// HeartbeatAcks counts liveness replies sent to the cloud.
+	HeartbeatAcks int64
 }
 
 // FogNode is one supernode: it replicates the world and renders/streams
 // per-player video.
 type FogNode struct {
 	cfg      FogConfig
-	cloud    net.Conn
 	listener net.Listener
-	id       uint32
 
 	mu        sync.Mutex
+	cloud     net.Conn
+	id        uint32
 	replica   *virtualworld.Replica
 	attached  map[int32]struct{}
 	videoBits int64
 	frames    int64
+	resil     FogResilience
+
+	jitter *rng.Rand // reconnect jitter; guarded by mu
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 // NewFogNode connects to the cloud, registers, seeds its replica, and
-// starts serving players on StreamAddr.
+// starts serving players on StreamAddr. If the cloud connection later
+// drops, the node redials with jittered exponential backoff and resyncs
+// its replica from the fresh welcome snapshot; players stay attached and
+// stream (increasingly stale) frames throughout.
 func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 8
@@ -62,41 +102,38 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	if cfg.StreamAddr == "" {
 		cfg.StreamAddr = "127.0.0.1:0"
 	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = DefaultReconnectBackoff
+	}
+	if cfg.ReconnectBackoffMax <= 0 {
+		cfg.ReconnectBackoffMax = DefaultReconnectBackoffMax
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
+	}
 	ln, err := net.Listen("tcp", cfg.StreamAddr)
 	if err != nil {
 		return nil, fmt.Errorf("fog listen: %w", err)
 	}
-	cloud, err := net.Dial("tcp", cfg.CloudAddr)
-	if err != nil {
-		ln.Close()
-		return nil, fmt.Errorf("fog dial cloud: %w", err)
-	}
 	f := &FogNode{
 		cfg:      cfg,
-		cloud:    cloud,
 		listener: ln,
 		attached: make(map[int32]struct{}),
+		jitter:   rng.New(cfg.Seed).SplitNamed("fog-reconnect-" + cfg.Name),
 		stop:     make(chan struct{}),
 	}
-	hello := protocol.SupernodeHello{
-		Name:       cfg.Name,
-		Capacity:   cfg.Capacity,
-		StreamAddr: ln.Addr().String(),
-	}
-	if err := protocol.WriteMessage(cloud, protocol.MsgSupernodeHello, hello.Marshal()); err != nil {
-		f.closeAll()
-		return nil, fmt.Errorf("fog register: %w", err)
-	}
-	typ, payload, err := protocol.ReadMessage(cloud)
-	if err != nil || typ != protocol.MsgSupernodeWelcome {
-		f.closeAll()
-		return nil, fmt.Errorf("fog welcome: %v %w", typ, err)
-	}
-	welcome, err := protocol.UnmarshalSupernodeWelcome(payload)
+	conn, welcome, err := f.connectCloud()
 	if err != nil {
-		f.closeAll()
-		return nil, fmt.Errorf("fog welcome decode: %w", err)
+		ln.Close()
+		return nil, err
 	}
+	f.cloud = conn
 	f.id = welcome.SupernodeID
 	f.replica = virtualworld.NewReplica(welcome.Snapshot.Width, welcome.Snapshot.Height)
 	f.replica.Seed(welcome.Snapshot)
@@ -107,15 +144,57 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	return f, nil
 }
 
+// connectCloud dials the cloud, registers, and returns the connection and
+// welcome (with the snapshot to seed/resync the replica from). The whole
+// handshake runs under deadlines.
+func (f *FogNode) connectCloud() (net.Conn, protocol.SupernodeWelcome, error) {
+	var zero protocol.SupernodeWelcome
+	conn, err := f.cfg.Dial("tcp", f.cfg.CloudAddr, f.cfg.DialTimeout)
+	if err != nil {
+		return nil, zero, fmt.Errorf("fog dial cloud: %w", err)
+	}
+	hello := protocol.SupernodeHello{
+		Name:       f.cfg.Name,
+		Capacity:   f.cfg.Capacity,
+		StreamAddr: f.listener.Addr().String(),
+	}
+	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	if err := protocol.WriteMessage(conn, protocol.MsgSupernodeHello, hello.Marshal()); err != nil {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog register: %w", err)
+	}
+	typ, payload, err := protocol.ReadMessage(conn)
+	if err != nil || typ != protocol.MsgSupernodeWelcome {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog welcome: %v %w", typ, err)
+	}
+	welcome, err := protocol.UnmarshalSupernodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog welcome decode: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, welcome, nil
+}
+
 // StreamAddr returns the address players connect to for video.
 func (f *FogNode) StreamAddr() string { return f.listener.Addr().String() }
 
-// ID returns the cloud-assigned supernode ID.
-func (f *FogNode) ID() uint32 { return f.id }
+// ID returns the cloud-assigned supernode ID (it changes on reconnect).
+func (f *FogNode) ID() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.id
+}
 
 func (f *FogNode) closeAll() {
 	f.listener.Close()
-	f.cloud.Close()
+	f.mu.Lock()
+	cloud := f.cloud
+	f.mu.Unlock()
+	if cloud != nil {
+		cloud.Close()
+	}
 }
 
 // Close stops the fog node and waits for its goroutines.
@@ -144,6 +223,8 @@ type FogStats struct {
 	// AppliedDeltas / StaleDeltas are replica counters.
 	AppliedDeltas int
 	StaleDeltas   int
+	// Resilience groups the failure-handling counters.
+	Resilience FogResilience
 }
 
 // Stats snapshots the counters.
@@ -157,27 +238,114 @@ func (f *FogNode) Stats() FogStats {
 		VideoBits:     f.videoBits,
 		AppliedDeltas: f.replica.AppliedDeltas(),
 		StaleDeltas:   f.replica.StaleDeltas(),
+		Resilience:    f.resil,
 	}
 }
 
-// updateLoop applies the cloud's update stream to the replica.
+// updateLoop applies the cloud's update stream to the replica, answers
+// heartbeats, and — when the connection dies — reconnects with jittered
+// exponential backoff and resyncs the replica.
 func (f *FogNode) updateLoop() {
 	defer f.wg.Done()
 	for {
-		typ, payload, err := protocol.ReadMessage(f.cloud)
+		f.mu.Lock()
+		conn := f.cloud
+		f.mu.Unlock()
+		typ, payload, err := protocol.ReadMessage(conn)
 		if err != nil {
-			return // cloud gone or Close()
-		}
-		if typ != protocol.MsgUpdateBatch {
+			if !f.reconnect() {
+				return // closing
+			}
 			continue
 		}
-		batch, err := protocol.UnmarshalUpdateBatch(payload)
+		switch typ {
+		case protocol.MsgUpdateBatch:
+			batch, berr := protocol.UnmarshalUpdateBatch(payload)
+			if berr != nil {
+				continue
+			}
+			f.mu.Lock()
+			f.replica.Apply(batch.Tick, batch.Deltas)
+			f.mu.Unlock()
+		case protocol.MsgHeartbeat:
+			hb, herr := protocol.UnmarshalHeartbeat(payload)
+			if herr != nil {
+				continue
+			}
+			f.mu.Lock()
+			ack := protocol.HeartbeatAck{
+				Seq:         hb.Seq,
+				ReplicaTick: f.replica.Tick(),
+				Attached:    uint16(len(f.attached)),
+			}
+			f.mu.Unlock()
+			conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+			werr := protocol.WriteMessage(conn, protocol.MsgHeartbeatAck, ack.Marshal())
+			conn.SetWriteDeadline(time.Time{})
+			if werr != nil {
+				continue // the read side will observe the dead conn
+			}
+			f.mu.Lock()
+			f.resil.HeartbeatAcks++
+			f.mu.Unlock()
+		}
+	}
+}
+
+// reconnect redials the cloud until it succeeds or the node closes,
+// doubling a jittered backoff each attempt. On success it installs the
+// new connection and resyncs the replica from the welcome snapshot.
+func (f *FogNode) reconnect() bool {
+	f.mu.Lock()
+	old := f.cloud
+	f.mu.Unlock()
+	old.Close()
+	backoff := f.cfg.ReconnectBackoff
+	for {
+		select {
+		case <-f.stop:
+			return false
+		default:
+		}
+		// ±50% deterministic jitter around the current backoff.
+		f.mu.Lock()
+		sleep := time.Duration(f.jitter.Uniform(0.5, 1.5) * float64(backoff))
+		f.mu.Unlock()
+		t := time.NewTimer(sleep)
+		select {
+		case <-f.stop:
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+		f.mu.Lock()
+		f.resil.ReconnectAttempts++
+		f.mu.Unlock()
+		conn, welcome, err := f.connectCloud()
 		if err != nil {
+			backoff *= 2
+			if backoff > f.cfg.ReconnectBackoffMax {
+				backoff = f.cfg.ReconnectBackoffMax
+			}
 			continue
 		}
 		f.mu.Lock()
-		f.replica.Apply(batch.Tick, batch.Deltas)
+		f.cloud = conn
+		f.id = welcome.SupernodeID
+		f.replica.Seed(welcome.Snapshot) // resync: drop stale state wholesale
+		f.resil.Reconnects++
+		closing := false
+		select {
+		case <-f.stop:
+			closing = true
+		default:
+		}
 		f.mu.Unlock()
+		if closing {
+			conn.Close()
+			return false
+		}
+		return true
 	}
 }
 
@@ -209,6 +377,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 	var level game.QualityLevel
 	attached := false
 	for !attached {
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 		typ, payload, err := protocol.ReadMessage(conn)
 		if err != nil {
 			return
@@ -234,7 +403,15 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 			if !ok {
 				reply.Reason = "at capacity"
 			}
-			if protocol.WriteMessage(conn, protocol.MsgAttachReply, reply.Marshal()) != nil || !ok {
+			if protocol.WriteMessage(conn, protocol.MsgAttachReply, reply.Marshal()) != nil {
+				if ok {
+					f.mu.Lock()
+					delete(f.attached, attach.PlayerID)
+					f.mu.Unlock()
+				}
+				return
+			}
+			if !ok {
 				return
 			}
 			playerID = attach.PlayerID
@@ -244,12 +421,14 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 			return
 		}
 	}
+	conn.SetReadDeadline(time.Time{})
 	defer func() {
 		f.mu.Lock()
 		delete(f.attached, playerID)
 		f.mu.Unlock()
 	}()
-	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f, f, f.stop, &f.wg)
+	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f.cfg.WriteTimeout,
+		f, f, f.stop, &f.wg)
 }
 
 // currentSnapshot implements snapshotSource over the replica.

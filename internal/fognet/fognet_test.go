@@ -1,9 +1,12 @@
 package fognet
 
 import (
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"cloudfog/internal/faultnet"
 	"cloudfog/internal/game"
 )
 
@@ -382,5 +385,305 @@ func TestPlayerFallsBackToCloudWhenAllSupernodesGone(t *testing.T) {
 	})
 	if err := player.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- chaos tests: deterministic fault injection via internal/faultnet ------
+
+// startChaosCloud creates a cloud with fast heartbeats for eviction tests.
+// The tolerance (interval x misses = 250ms) is short enough to evict dead
+// links quickly but wide enough that race-detector scheduling pauses never
+// evict a healthy fog — spurious evictions empty the candidate ladder and
+// strand players on the cloud fallback.
+func startChaosCloud(t *testing.T, wrap func(net.Conn) net.Conn) *CloudServer {
+	t.Helper()
+	cloud, err := NewCloudServer(CloudConfig{
+		TickInterval:      5 * time.Millisecond,
+		NPCs:              4,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   5,
+		WriteTimeout:      200 * time.Millisecond,
+		SendQueueLen:      4,
+		WrapConn:          wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cloud.Close() })
+	return cloud
+}
+
+func TestCloudEvictsSilentSupernode(t *testing.T) {
+	cloud := startChaosCloud(t, nil)
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 100})
+	fog, err := NewFogNode(FogConfig{
+		Name: "fog-silent", CloudAddr: cloud.Addr(),
+		Capacity: 4, FrameInterval: 10 * time.Millisecond,
+		Dial: inj.Dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fog.Close()
+	waitFor(t, 2*time.Second, "registration", func() bool {
+		return cloud.Stats().Supernodes == 1
+	})
+	// Blackhole the fog's cloud link: its heartbeat acks vanish, its reads
+	// stall. Only the liveness protocol can notice this failure mode.
+	inj.SetMode(faultnet.Blackhole)
+	waitFor(t, 5*time.Second, "eviction", func() bool {
+		s := cloud.Stats()
+		return s.Supernodes == 0 && s.Resilience.Evictions >= 1
+	})
+	// The tick loop must have kept running throughout.
+	before := cloud.Stats().Ticks
+	waitFor(t, 2*time.Second, "ticks advancing post-eviction", func() bool {
+		return cloud.Stats().Ticks > before+5
+	})
+}
+
+func TestTickLoopSurvivesStalledSupernode(t *testing.T) {
+	// The dangerous failure: a supernode that stops draining its TCP
+	// stream. The bounded send queue and per-write deadlines must keep the
+	// tick fan-out alive, then the stalled conn is torn down and the fog
+	// reconnects with a fresh replica.
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 101})
+	// Wrap only the first accepted conn (the fog's registration): the
+	// player's control conn and the fog's reconnect must stay healthy.
+	// Heartbeat eviction is effectively disabled so the slow-consumer
+	// defences (bounded queue + write deadline), not the liveness protocol,
+	// must be what keeps the tick loop alive and tears the conn down.
+	var accepted atomic.Int32
+	cloud, err := NewCloudServer(CloudConfig{
+		TickInterval:      5 * time.Millisecond,
+		NPCs:              4,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   1 << 20,
+		WriteTimeout:      200 * time.Millisecond,
+		SendQueueLen:      4,
+		WrapConn: func(c net.Conn) net.Conn {
+			if accepted.Add(1) == 1 {
+				return inj.WrapConn(c)
+			}
+			return c
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cloud.Close() })
+	fog, ferr := NewFogNode(FogConfig{
+		Name: "fog-frozen", CloudAddr: cloud.Addr(),
+		Capacity: 4, FrameInterval: 10 * time.Millisecond,
+		ReconnectBackoff: 20 * time.Millisecond, Seed: 101,
+	})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	defer fog.Close()
+	// A player keeps the world changing so update batches flow every tick.
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 31, CloudAddr: cloud.Addr(),
+		ActionInterval: 5 * time.Millisecond, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 2*time.Second, "streaming", func() bool {
+		return player.Stats().Frames > 3
+	})
+
+	inj.SetMode(faultnet.Stall)
+	before := cloud.Stats().Ticks
+	// Ticks must keep advancing while the frozen supernode's queue fills.
+	waitFor(t, 5*time.Second, "ticks advancing during stall", func() bool {
+		return cloud.Stats().Ticks > before+20
+	})
+	waitFor(t, 5*time.Second, "queue drops counted", func() bool {
+		return cloud.Stats().Resilience.SendQueueDrops > 0
+	})
+	// The stalled conn is torn down; the fog reconnects (new conns through
+	// the wrap start healthy) and resyncs its replica.
+	waitFor(t, 10*time.Second, "fog reconnects", func() bool {
+		return fog.Stats().Resilience.Reconnects >= 1 && cloud.Stats().Supernodes == 1
+	})
+	tickAtResync := fog.Stats().ReplicaTick
+	waitFor(t, 5*time.Second, "replica advances after resync", func() bool {
+		return fog.Stats().ReplicaTick > tickAtResync
+	})
+}
+
+func TestPlayerMigratesOnSilentStream(t *testing.T) {
+	// A supernode that freezes without closing its sockets: frames simply
+	// stop. The player's read deadline must notice and walk the ladder.
+	cloud := startChaosCloud(t, nil)
+	primary := startFog(t, cloud, "fog-primary", 4)
+
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 102})
+	primaryAddr := primary.StreamAddr()
+	// While frozen, every conn to the primary (existing or new) is
+	// blackholed — the box is down, re-dialing it cannot help.
+	var frozen atomic.Bool
+	dial := func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if addr == primaryAddr {
+			fc := inj.WrapConn(c)
+			if frozen.Load() {
+				fc.SetMode(faultnet.Blackhole)
+			}
+			return fc, nil
+		}
+		return c, nil
+	}
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 41, CloudAddr: cloud.Addr(),
+		ActionInterval:   10 * time.Millisecond,
+		VideoReadTimeout: 100 * time.Millisecond,
+		// Short handshake budget: probing the blackholed primary must fail
+		// fast so the ladder reaches the backup promptly.
+		DialTimeout: 200 * time.Millisecond,
+		Seed:        41,
+		Dial:        dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 2*time.Second, "attach to primary", func() bool {
+		return primary.Stats().Attached == 1
+	})
+	// A backup joins after the player: only the candidate-update push can
+	// teach the player about it.
+	backup := startFog(t, cloud, "fog-backup", 4)
+	waitFor(t, 2*time.Second, "candidate update received", func() bool {
+		return player.Stats().CandidateUpdates >= 1
+	})
+	waitFor(t, 2*time.Second, "frames from primary", func() bool {
+		return player.Stats().Frames > 3
+	})
+
+	// Freeze the stream: bytes stop, sockets stay open.
+	frozen.Store(true)
+	inj.SetMode(faultnet.Blackhole)
+	waitFor(t, 5*time.Second, "migration to backup", func() bool {
+		s := player.Stats()
+		return s.Migrations >= 1 && backup.Stats().Attached == 1
+	})
+	s := player.Stats()
+	if s.StallMs <= 0 {
+		t.Errorf("stall time not accounted: %+v", s)
+	}
+	framesAtMigration := s.Frames
+	waitFor(t, 5*time.Second, "frames resume", func() bool {
+		return player.Stats().Frames > framesAtMigration+5
+	})
+	if got := player.Stats(); got.FallbackTransitions != 0 {
+		t.Errorf("player fell back to cloud despite live backup: %+v", got)
+	}
+}
+
+func TestFogReconnectsAfterConnReset(t *testing.T) {
+	cloud := startChaosCloud(t, nil)
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 103})
+	fog, err := NewFogNode(FogConfig{
+		Name: "fog-reset", CloudAddr: cloud.Addr(),
+		Capacity: 4, FrameInterval: 10 * time.Millisecond,
+		Dial:             inj.Dial,
+		ReconnectBackoff: 20 * time.Millisecond,
+		Seed:             103,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fog.Close()
+	waitFor(t, 2*time.Second, "registration", func() bool {
+		return cloud.Stats().Supernodes == 1
+	})
+	// A player keeps the world changing so the replica has deltas to apply.
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 42, CloudAddr: cloud.Addr(),
+		ActionInterval: 5 * time.Millisecond, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	oldID := fog.ID()
+
+	// Abruptly reset the cloud link; the fog must redial (new conns start
+	// healthy), re-register under a fresh ID, and resync its replica.
+	inj.SetMode(faultnet.Reset)
+	waitFor(t, 5*time.Second, "reconnect", func() bool {
+		return fog.Stats().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 2*time.Second, "re-registration", func() bool {
+		return cloud.Stats().Supernodes == 1 && fog.ID() != oldID
+	})
+	if d := cloud.Stats().Resilience.Departures + cloud.Stats().Resilience.Evictions; d < 1 {
+		t.Errorf("old registration never cleaned up: %+v", cloud.Stats().Resilience)
+	}
+	tick := fog.Stats().ReplicaTick
+	waitFor(t, 5*time.Second, "replica advances after resync", func() bool {
+		return fog.Stats().ReplicaTick > tick
+	})
+}
+
+func TestChaosChurnPlayerSurvives(t *testing.T) {
+	// The ISSUE acceptance scenario, seeded end to end: latency-injected
+	// links, a fog node killed mid-stream, and the player must resume
+	// frame delivery via migration or cloud fallback within bounded time
+	// while the cloud tick loop never misses a beat.
+	cloud := startChaosCloud(t, nil)
+	inj := faultnet.NewInjector(faultnet.Profile{
+		Seed:          7,
+		AddedLatency:  2 * time.Millisecond,
+		LatencyJitter: 3 * time.Millisecond,
+	})
+	fogA := startFog(t, cloud, "fog-a", 4)
+	fogB := startFog(t, cloud, "fog-b", 4)
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 51, CloudAddr: cloud.Addr(),
+		ActionInterval:   10 * time.Millisecond,
+		VideoReadTimeout: 200 * time.Millisecond,
+		Seed:             7,
+		Dial:             inj.Dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 3*time.Second, "initial attach", func() bool {
+		return fogA.Stats().Attached+fogB.Stats().Attached == 1
+	})
+	serving := fogA
+	if fogB.Stats().Attached == 1 {
+		serving = fogB
+	}
+	waitFor(t, 3*time.Second, "first frames", func() bool {
+		return player.Stats().Frames > 3
+	})
+
+	ticksBefore := cloud.Stats().Ticks
+	serving.Close()
+	waitFor(t, 5*time.Second, "migration", func() bool {
+		return player.Stats().Migrations >= 1
+	})
+	framesAtMigration := player.Stats().Frames
+	waitFor(t, 5*time.Second, "frames resume", func() bool {
+		return player.Stats().Frames > framesAtMigration+5
+	})
+	// The dead supernode never blocked the cloud: the tick loop keeps
+	// advancing right through the churn.
+	waitFor(t, 2*time.Second, "ticks advancing through churn", func() bool {
+		return cloud.Stats().Ticks > ticksBefore+20
+	})
+	s := player.Stats()
+	if s.DecodeErrors > s.Frames/5 {
+		t.Errorf("stream did not resume cleanly: %d errors / %d frames",
+			s.DecodeErrors, s.Frames)
 	}
 }

@@ -14,6 +14,15 @@ import (
 	"cloudfog/internal/virtualworld"
 )
 
+// DefaultVideoReadTimeout is how long the player waits for the next video
+// message before declaring the stream stalled and migrating (§3.2.2: the
+// serving supernode may have silently vanished).
+const DefaultVideoReadTimeout = 2 * time.Second
+
+// migrateAttempts bounds how many times the failover ladder is retried
+// (with jittered backoff) before the player gives up.
+const migrateAttempts = 5
+
 // PlayerConfig parameterizes a PlayerClient.
 type PlayerConfig struct {
 	// PlayerID identifies the player.
@@ -28,8 +37,22 @@ type PlayerConfig struct {
 	ActionInterval time.Duration
 	// Adapt enables the receiver-driven rate adaptation of §3.3.
 	Adapt bool
-	// Seed drives the client's synthetic input generator.
+	// Seed drives the client's synthetic input generator and its
+	// migration backoff jitter.
 	Seed uint64
+	// DialTimeout bounds every dial and attach handshake. Defaults to
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// VideoReadTimeout is the stall detector: the longest silence
+	// tolerated on the video stream before failing over. Defaults to
+	// DefaultVideoReadTimeout.
+	VideoReadTimeout time.Duration
+	// WriteTimeout bounds protocol writes. Defaults to
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// Dial, when set, replaces net.DialTimeout — the faultnet injection
+	// point for chaos tests.
+	Dial DialFunc
 }
 
 // PlayerClient is a thin client: it sends inputs to the cloud and receives
@@ -37,9 +60,9 @@ type PlayerConfig struct {
 type PlayerClient struct {
 	cfg   PlayerConfig
 	cloud net.Conn
-	video net.Conn
 
 	mu         sync.Mutex
+	video      net.Conn
 	frames     int64
 	videoBits  int64
 	decodeErrs int64
@@ -47,11 +70,18 @@ type PlayerClient struct {
 	level      game.QualityLevel
 	switches   int
 	migrations int
+	fallbacks  int
+	stallMs    int64
+	candUpd    int64
 
-	// candidates is the cloud-provided supernode list, kept for the
-	// migration of §3.2.2: when the serving supernode fails, the player
-	// first tries its known candidates before giving up.
+	// candidates is the cloud-provided supernode list, kept fresh by
+	// MsgCandidateUpdate pushes, for the migration of §3.2.2: when the
+	// serving supernode fails, the player walks the ladder candidates →
+	// cloud fallback before giving up.
 	candidates []string
+	cloudAddr  string // the cloud's own stream endpoint (ladder tail)
+
+	jitter *rng.Rand // migration backoff jitter; guarded by mu
 
 	ctrl *adaptation.Controller
 
@@ -63,7 +93,8 @@ type PlayerClient struct {
 // candidate supernodes in order, and attaches to the first with capacity
 // (the sequential capacity probing of §3.2.2), falling back to the cloud's
 // own stream when no supernode accepts. If the serving supernode later
-// fails, the client migrates to another candidate automatically.
+// fails — connection error or a stream silent past VideoReadTimeout — the
+// client walks the failover ladder automatically.
 func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if cfg.ActionInterval <= 0 {
 		cfg.ActionInterval = 100 * time.Millisecond
@@ -71,7 +102,19 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if cfg.Game.ID == 0 {
 		cfg.Game = game.Catalog()[2]
 	}
-	cloud, err := net.Dial("tcp", cfg.CloudAddr)
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.VideoReadTimeout <= 0 {
+		cfg.VideoReadTimeout = DefaultVideoReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
+	}
+	cloud, err := cfg.Dial("tcp", cfg.CloudAddr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("player dial cloud: %w", err)
 	}
@@ -82,12 +125,14 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		stop:  make(chan struct{}),
 	}
 	r := rng.New(cfg.Seed + uint64(cfg.PlayerID))
+	p.jitter = r.SplitNamed("migrate-jitter")
 	join := protocol.PlayerJoin{
 		PlayerID: cfg.PlayerID,
 		GameID:   uint8(cfg.Game.ID),
 		SpawnX:   r.Uniform(50, 400),
 		SpawnY:   r.Uniform(50, 400),
 	}
+	cloud.SetDeadline(time.Now().Add(cfg.DialTimeout))
 	if err := protocol.WriteMessage(cloud, protocol.MsgPlayerJoin, join.Marshal()); err != nil {
 		cloud.Close()
 		return nil, fmt.Errorf("player join: %w", err)
@@ -97,6 +142,7 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		cloud.Close()
 		return nil, fmt.Errorf("player join reply: %v %w", typ, err)
 	}
+	cloud.SetDeadline(time.Time{})
 	reply, err := protocol.UnmarshalJoinReply(payload)
 	if err != nil || !reply.OK {
 		cloud.Close()
@@ -104,12 +150,8 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	}
 
 	p.candidates = reply.SupernodeAddrs
-	if reply.CloudStreamAddr != "" {
-		// The cloud itself is the last-resort candidate (§3.2: players
-		// that cannot find nearby supernodes connect to the cloud).
-		p.candidates = append(p.candidates, reply.CloudStreamAddr)
-	}
-	video, err := p.attachToAny(p.candidates)
+	p.cloudAddr = reply.CloudStreamAddr
+	video, err := p.attachToAny(p.ladder())
 	if err != nil {
 		cloud.Close()
 		return nil, err
@@ -123,20 +165,37 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		}, cfg.Game.DefaultQuality)
 	}
 
-	p.wg.Add(2)
+	p.wg.Add(3)
 	go p.actionLoop(r)
+	go p.cloudLoop()
 	go p.videoLoop()
 	return p, nil
 }
 
+// ladder returns the current failover ladder: candidate supernodes first,
+// the cloud's own stream endpoint last (§3.2: players that cannot find
+// nearby supernodes connect directly to the cloud).
+func (p *PlayerClient) ladder() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.candidates)+1)
+	out = append(out, p.candidates...)
+	if p.cloudAddr != "" {
+		out = append(out, p.cloudAddr)
+	}
+	return out
+}
+
 // attachToAny probes the candidate supernodes in order and attaches to the
-// first that accepts.
+// first that accepts. The whole per-candidate handshake runs under a
+// deadline so a hung supernode costs at most DialTimeout.
 func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := p.cfg.Dial("tcp", addr, p.cfg.DialTimeout)
 		if err != nil {
 			continue
 		}
+		conn.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
 		// Probe for capacity first.
 		if err := protocol.WriteMessage(conn, protocol.MsgProbe, nil); err != nil {
 			conn.Close()
@@ -170,6 +229,12 @@ func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 			conn.Close()
 			continue
 		}
+		conn.SetDeadline(time.Time{})
+		p.mu.Lock()
+		if addr == p.cloudAddr {
+			p.fallbacks++
+		}
+		p.mu.Unlock()
 		return conn, nil
 	}
 	return nil, fmt.Errorf("fognet: no supernode accepted player %d (candidates: %d)",
@@ -188,10 +253,14 @@ func (p *PlayerClient) Close() error {
 	p.mu.Lock()
 	video := p.video
 	p.mu.Unlock()
+	p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 	protocol.WriteMessage(p.cloud, protocol.MsgBye, nil)
-	protocol.WriteMessage(video, protocol.MsgBye, nil)
+	if video != nil {
+		video.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		protocol.WriteMessage(video, protocol.MsgBye, nil)
+		video.Close()
+	}
 	p.cloud.Close()
-	video.Close()
 	p.wg.Wait()
 	return nil
 }
@@ -212,6 +281,15 @@ type PlayerStats struct {
 	RateSwitches int
 	// Migrations counts reconnections to a new supernode after failures.
 	Migrations int
+	// FallbackTransitions counts attaches that landed on the cloud's own
+	// stream — the expensive last rung of the ladder.
+	FallbackTransitions int
+	// StallMs is the cumulative time the video stream was down across
+	// failures, from detection to resumption.
+	StallMs int64
+	// CandidateUpdates counts failover-ladder refreshes received from
+	// the cloud.
+	CandidateUpdates int64
 }
 
 // Stats snapshots the counters.
@@ -219,13 +297,16 @@ func (p *PlayerClient) Stats() PlayerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PlayerStats{
-		Frames:       p.frames,
-		VideoBits:    p.videoBits,
-		DecodeErrors: p.decodeErrs,
-		LastTick:     p.lastTick,
-		Level:        p.level,
-		RateSwitches: p.switches,
-		Migrations:   p.migrations,
+		Frames:              p.frames,
+		VideoBits:           p.videoBits,
+		DecodeErrors:        p.decodeErrs,
+		LastTick:            p.lastTick,
+		Level:               p.level,
+		RateSwitches:        p.switches,
+		Migrations:          p.migrations,
+		FallbackTransitions: p.fallbacks,
+		StallMs:             p.stallMs,
+		CandidateUpdates:    p.candUpd,
 	}
 }
 
@@ -248,6 +329,7 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 				Player: int(p.cfg.PlayerID), Kind: virtualworld.ActMove,
 				TargetX: tx, TargetY: ty,
 			}}
+			p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 			if protocol.WriteMessage(p.cloud, protocol.MsgAction, msg.Marshal()) != nil {
 				return
 			}
@@ -255,9 +337,37 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 	}
 }
 
+// cloudLoop receives the cloud's pushes on the control connection —
+// today, candidate-ladder refreshes when the supernode set changes.
+func (p *PlayerClient) cloudLoop() {
+	defer p.wg.Done()
+	for {
+		typ, payload, err := protocol.ReadMessage(p.cloud)
+		if err != nil {
+			return // cloud gone or Close()
+		}
+		if typ != protocol.MsgCandidateUpdate {
+			continue
+		}
+		upd, uerr := protocol.UnmarshalCandidateUpdate(payload)
+		if uerr != nil {
+			continue
+		}
+		p.mu.Lock()
+		p.candidates = upd.SupernodeAddrs
+		if upd.CloudStreamAddr != "" {
+			p.cloudAddr = upd.CloudStreamAddr
+		}
+		p.candUpd++
+		p.mu.Unlock()
+	}
+}
+
 // videoLoop receives and decodes the video stream, and drives the
 // receiver-driven adaptation: the observed delivery rate feeds the buffer
-// model, and level switches go back to the supernode as RateChange.
+// model, and level switches go back to the supernode as RateChange. Every
+// read carries the stall-detector deadline; a silent or broken stream
+// triggers the failover ladder.
 func (p *PlayerClient) videoLoop() {
 	defer p.wg.Done()
 	var dec videocodec.Decoder
@@ -268,11 +378,13 @@ func (p *PlayerClient) videoLoop() {
 	conn := p.video
 	p.mu.Unlock()
 	for {
+		conn.SetReadDeadline(time.Now().Add(p.cfg.VideoReadTimeout))
 		typ, payload, err := protocol.ReadMessage(conn)
 		if err != nil {
-			// The serving supernode failed or left: migrate to another
-			// candidate (§3.2.2). No game state transfers — the cloud
-			// holds it all — so the stream resumes with a fresh decoder.
+			// The serving supernode failed, left, or went silent:
+			// migrate down the ladder (§3.2.2). No game state
+			// transfers — the cloud holds it all — so the stream
+			// resumes with a fresh decoder.
 			next, ok := p.migrate(&dec)
 			if !ok {
 				return
@@ -313,8 +425,11 @@ func (p *PlayerClient) videoLoop() {
 				windowBits, windowStart = 0, time.Now()
 				if decision != adaptation.Hold {
 					rc := protocol.RateChange{QualityLevel: uint8(p.ctrl.Level())}
-					if protocol.WriteMessage(conn, protocol.MsgRateChange, rc.Marshal()) != nil {
-						return
+					conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+					werr := protocol.WriteMessage(conn, protocol.MsgRateChange, rc.Marshal())
+					conn.SetWriteDeadline(time.Time{})
+					if werr != nil {
+						continue // the next read will fail over
 					}
 					p.mu.Lock()
 					p.level = p.ctrl.Level()
@@ -326,25 +441,46 @@ func (p *PlayerClient) videoLoop() {
 	}
 }
 
-// migrate reconnects the video session to another candidate supernode
-// after the serving one failed, returning the new connection. It reports
-// false when the client is closing or no candidate accepts.
+// migrate walks the failover ladder after the serving connection failed,
+// retrying with jittered backoff, and returns the new connection. It
+// reports false when the client is closing or the ladder stays dry. The
+// downtime from detection to resumption is accounted as stall time.
 func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
-	select {
-	case <-p.stop:
-		return nil, false
-	default:
+	stallStart := time.Now()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < migrateAttempts; attempt++ {
+		select {
+		case <-p.stop:
+			return nil, false
+		default:
+		}
+		conn, err := p.attachToAny(p.ladder())
+		if err == nil {
+			p.mu.Lock()
+			old := p.video
+			p.video = conn
+			p.migrations++
+			p.stallMs += time.Since(stallStart).Milliseconds()
+			p.mu.Unlock()
+			if old != nil {
+				old.Close()
+			}
+			*dec = videocodec.Decoder{} // the new stream starts with an I-frame
+			return conn, true
+		}
+		// The ladder may be mid-refresh (the cloud broadcasts after an
+		// eviction); back off with deterministic jitter and retry.
+		p.mu.Lock()
+		sleep := time.Duration(p.jitter.Uniform(0.5, 1.5) * float64(backoff))
+		p.mu.Unlock()
+		t := time.NewTimer(sleep)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return nil, false
+		case <-t.C:
+		}
+		backoff *= 2
 	}
-	conn, err := p.attachToAny(p.candidates)
-	if err != nil {
-		return nil, false
-	}
-	p.mu.Lock()
-	old := p.video
-	p.video = conn
-	p.migrations++
-	p.mu.Unlock()
-	old.Close()
-	*dec = videocodec.Decoder{} // the new stream starts with an I-frame
-	return conn, true
+	return nil, false
 }

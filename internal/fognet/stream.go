@@ -26,13 +26,16 @@ type streamCounters interface {
 
 // runVideoSession streams rendered, encoded frames for one attached player
 // until the connection breaks, a Bye arrives, or stop closes. It handles
-// the receiver-driven RateChange messages of §3.3. The caller owns conn
-// and the attach handshake; wg tracks the internal reader goroutine.
+// the receiver-driven RateChange messages of §3.3. Every frame write
+// carries writeTimeout as a deadline, so a player that stops reading
+// cannot pin the session goroutine. The caller owns conn and the attach
+// handshake; wg tracks the internal reader goroutine.
 func runVideoSession(
 	conn net.Conn,
 	playerID int32,
 	level game.QualityLevel,
 	frameInterval time.Duration,
+	writeTimeout time.Duration,
 	source snapshotSource,
 	counters streamCounters,
 	stop <-chan struct{},
@@ -88,6 +91,9 @@ func runVideoSession(
 			snap := source.currentSnapshot()
 			frame := renderer.Render(snap, render.ViewportFor(snap, int(playerID)))
 			ef := encoder.Encode(frame)
+			if writeTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			}
 			if protocol.WriteMessage(conn, protocol.MsgVideoFrame, ef.Marshal()) != nil {
 				return
 			}

@@ -59,6 +59,17 @@ const (
 	MsgProbeReply
 	// MsgBye ends a session gracefully.
 	MsgBye
+	// MsgHeartbeat is the cloud's liveness ping to a supernode. Supernodes
+	// are contributed desktops (§3.2.2): the cloud must detect the ones
+	// that silently vanish and evict them.
+	MsgHeartbeat
+	// MsgHeartbeatAck answers a heartbeat with the supernode's replica
+	// progress, doubling as a cheap health report.
+	MsgHeartbeatAck
+	// MsgCandidateUpdate pushes a refreshed failover ladder to a player
+	// when the supernode set changes (registration, eviction, departure),
+	// so migrations never target stale addresses.
+	MsgCandidateUpdate
 )
 
 // String names the message type.
@@ -90,6 +101,12 @@ func (t MsgType) String() string {
 		return "probe-reply"
 	case MsgBye:
 		return "bye"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgHeartbeatAck:
+		return "heartbeat-ack"
+	case MsgCandidateUpdate:
+		return "candidate-update"
 	default:
 		return "unknown"
 	}
@@ -553,6 +570,86 @@ func (m RateChange) Marshal() []byte { return []byte{m.QualityLevel} }
 func UnmarshalRateChange(buf []byte) (RateChange, error) {
 	r := &reader{buf: buf}
 	m := RateChange{QualityLevel: r.u8()}
+	return m, r.finish()
+}
+
+// Heartbeat is the cloud's liveness ping.
+type Heartbeat struct {
+	// Seq is the monotonically increasing heartbeat sequence number.
+	Seq uint32
+}
+
+// Marshal encodes the message.
+func (m Heartbeat) Marshal() []byte {
+	w := &writer{}
+	w.u32(m.Seq)
+	return w.buf
+}
+
+// UnmarshalHeartbeat decodes the message.
+func UnmarshalHeartbeat(buf []byte) (Heartbeat, error) {
+	r := &reader{buf: buf}
+	m := Heartbeat{Seq: r.u32()}
+	return m, r.finish()
+}
+
+// HeartbeatAck answers a heartbeat.
+type HeartbeatAck struct {
+	// Seq echoes the heartbeat sequence number being answered.
+	Seq uint32
+	// ReplicaTick is the supernode's latest applied world tick, letting
+	// the cloud spot replicas that are alive but falling behind.
+	ReplicaTick uint64
+	// Attached is the supernode's current player count.
+	Attached uint16
+}
+
+// Marshal encodes the message.
+func (m HeartbeatAck) Marshal() []byte {
+	w := &writer{}
+	w.u32(m.Seq)
+	w.u64(m.ReplicaTick)
+	w.u16(m.Attached)
+	return w.buf
+}
+
+// UnmarshalHeartbeatAck decodes the message.
+func UnmarshalHeartbeatAck(buf []byte) (HeartbeatAck, error) {
+	r := &reader{buf: buf}
+	m := HeartbeatAck{Seq: r.u32(), ReplicaTick: r.u64(), Attached: r.u16()}
+	return m, r.finish()
+}
+
+// CandidateUpdate refreshes a player's failover ladder after the supernode
+// set changes. Semantically it is the live-update counterpart of the
+// JoinReply candidate list (§3.2.2 churn handling).
+type CandidateUpdate struct {
+	// SupernodeAddrs are the surviving candidate streaming addresses.
+	SupernodeAddrs []string
+	// CloudStreamAddr is the cloud's own fallback streaming endpoint.
+	CloudStreamAddr string
+}
+
+// Marshal encodes the message.
+func (m CandidateUpdate) Marshal() []byte {
+	w := &writer{}
+	w.u16(uint16(len(m.SupernodeAddrs)))
+	for _, a := range m.SupernodeAddrs {
+		w.str(a)
+	}
+	w.str(m.CloudStreamAddr)
+	return w.buf
+}
+
+// UnmarshalCandidateUpdate decodes the message.
+func UnmarshalCandidateUpdate(buf []byte) (CandidateUpdate, error) {
+	r := &reader{buf: buf}
+	var m CandidateUpdate
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		m.SupernodeAddrs = append(m.SupernodeAddrs, r.str())
+	}
+	m.CloudStreamAddr = r.str()
 	return m, r.finish()
 }
 

@@ -75,7 +75,7 @@ func TestFramingTruncatedStream(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for typ := MsgSupernodeHello; typ <= MsgBye; typ++ {
+	for typ := MsgSupernodeHello; typ <= MsgCandidateUpdate; typ++ {
 		if typ.String() == "unknown" {
 			t.Errorf("type %d unnamed", typ)
 		}
@@ -216,6 +216,40 @@ func TestProbeReplyRoundTrip(t *testing.T) {
 	got, err := UnmarshalProbeReply(m.Marshal())
 	if err != nil || got != m {
 		t.Errorf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	m := Heartbeat{Seq: 77}
+	got, err := UnmarshalHeartbeat(m.Marshal())
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+	a := HeartbeatAck{Seq: 77, ReplicaTick: 123456, Attached: 6}
+	gotA, err := UnmarshalHeartbeatAck(a.Marshal())
+	if err != nil || gotA != a {
+		t.Errorf("ack round trip: %+v, %v", gotA, err)
+	}
+}
+
+func TestCandidateUpdateRoundTrip(t *testing.T) {
+	m := CandidateUpdate{
+		SupernodeAddrs:  []string{"10.0.0.1:7100", "10.0.0.2:7100"},
+		CloudStreamAddr: "10.0.0.9:7000",
+	}
+	got, err := UnmarshalCandidateUpdate(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SupernodeAddrs) != 2 || got.SupernodeAddrs[1] != "10.0.0.2:7100" ||
+		got.CloudStreamAddr != m.CloudStreamAddr {
+		t.Errorf("round trip: %+v", got)
+	}
+	// An empty ladder (all supernodes gone) still round-trips.
+	empty := CandidateUpdate{CloudStreamAddr: "c:1"}
+	got, err = UnmarshalCandidateUpdate(empty.Marshal())
+	if err != nil || len(got.SupernodeAddrs) != 0 || got.CloudStreamAddr != "c:1" {
+		t.Errorf("empty round trip: %+v, %v", got, err)
 	}
 }
 
