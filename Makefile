@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos
+.PHONY: all build vet test race check bench chaos
 
 all: check
 
@@ -14,11 +14,20 @@ test:
 	$(GO) test ./...
 
 # The fognet chaos tests exercise heartbeats, eviction, reconnects, and
-# player migration under injected faults; they must stay race-clean.
+# player migration under injected faults; they must stay race-clean. The
+# timeout is raised above go test's 10m default because the (singly-
+# threaded) experiments figure suite runs several times slower under the
+# race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 60m ./...
 
 check: build vet test race
+
+# Micro-benchmarks for the shared §3.2 selection engine and its consumers
+# (one iteration each: a smoke check, not a measurement run). The root
+# package is excluded — its benchmarks are the figure-generation harness.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/...
 
 chaos:
 	$(GO) run ./examples/chaos

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudfog/internal/fognet"
+	"cloudfog/internal/selection"
 )
 
 func main() {
@@ -24,26 +25,34 @@ func main() {
 	hbInterval := flag.Duration("hb-interval", fognet.DefaultHeartbeatInterval, "supernode heartbeat interval")
 	hbMisses := flag.Int("hb-misses", fognet.DefaultHeartbeatMisses, "missed heartbeats before a supernode is evicted")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	selPolicy := flag.String("selection", "reputation", "candidate-ladder ranking policy: random | reputation | global")
+	seed := flag.Uint64("seed", 1, "ladder tie-break shuffle seed")
 	flag.Parse()
 
-	if err := run(*addr, *tick, *npcs, *hbInterval, *hbMisses, *statsEvery); err != nil {
+	policy, err := selection.ParsePolicy(*selPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*addr, *tick, *npcs, *hbInterval, *hbMisses, *statsEvery, policy, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, tick time.Duration, npcs int, hbInterval time.Duration, hbMisses int, statsEvery time.Duration) error {
+func run(addr string, tick time.Duration, npcs int, hbInterval time.Duration, hbMisses int, statsEvery time.Duration, policy selection.Policy, seed uint64) error {
 	cloud, err := fognet.NewCloudServer(fognet.CloudConfig{
 		Addr:              addr,
 		TickInterval:      tick,
 		NPCs:              npcs,
 		HeartbeatInterval: hbInterval,
 		HeartbeatMisses:   hbMisses,
+		SelectionPolicy:   policy,
+		Seed:              seed,
 	})
 	if err != nil {
 		return err
 	}
 	defer cloud.Close()
-	fmt.Printf("cloudsrv: listening on %s (tick %v, %d NPCs)\n", cloud.Addr(), tick, npcs)
+	fmt.Printf("cloudsrv: listening on %s (tick %v, %d NPCs, selection %v)\n", cloud.Addr(), tick, npcs, policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -62,9 +71,10 @@ func run(addr string, tick time.Duration, npcs int, hbInterval time.Duration, hb
 			return nil
 		case <-tickCh:
 			s := cloud.Stats()
-			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit evictions=%d departures=%d qdrops=%d\n",
+			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit evictions=%d departures=%d qdrops=%d qoe=%d\n",
 				s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000,
-				s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops)
+				s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops,
+				s.Resilience.QoEReports)
 		}
 	}
 }

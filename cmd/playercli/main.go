@@ -16,6 +16,7 @@ import (
 
 	"cloudfog/internal/fognet"
 	"cloudfog/internal/game"
+	"cloudfog/internal/selection"
 )
 
 func main() {
@@ -26,26 +27,34 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "how long to play (0 = until interrupted)")
 	dialTimeout := flag.Duration("dial-timeout", fognet.DefaultDialTimeout, "connect/attach handshake timeout")
 	seed := flag.Uint64("seed", 1, "input generator seed")
+	selPolicy := flag.String("selection", "reputation", "failover-ladder ranking policy: random | reputation | global")
+	maxRTT := flag.Float64("max-rtt", 0, "drop candidates whose measured RTT exceeds this many ms (0 = no filter)")
 	flag.Parse()
 
-	if err := run(*id, *cloudAddr, *gameID, *adapt, *duration, *dialTimeout, *seed); err != nil {
+	policy, err := selection.ParsePolicy(*selPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*id, *cloudAddr, *gameID, *adapt, *duration, *dialTimeout, *seed, policy, *maxRTT); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(id int, cloudAddr string, gameID int, adapt bool, duration, dialTimeout time.Duration, seed uint64) error {
+func run(id int, cloudAddr string, gameID int, adapt bool, duration, dialTimeout time.Duration, seed uint64, policy selection.Policy, maxRTT float64) error {
 	catalog := game.Catalog()
 	if gameID < 1 || gameID > len(catalog) {
 		return fmt.Errorf("game ID %d out of range 1..%d", gameID, len(catalog))
 	}
 	g := catalog[gameID-1]
 	player, err := fognet.NewPlayerClient(fognet.PlayerConfig{
-		PlayerID:    int32(id),
-		CloudAddr:   cloudAddr,
-		Game:        g,
-		Adapt:       adapt,
-		DialTimeout: dialTimeout,
-		Seed:        seed,
+		PlayerID:          int32(id),
+		CloudAddr:         cloudAddr,
+		Game:              g,
+		Adapt:             adapt,
+		DialTimeout:       dialTimeout,
+		Seed:              seed,
+		Policy:            policy,
+		MaxCandidateRTTMs: maxRTT,
 	})
 	if err != nil {
 		return err
@@ -80,8 +89,8 @@ func run(id int, cloudAddr string, gameID int, adapt bool, duration, dialTimeout
 func printStats(player *fognet.PlayerClient, start time.Time) {
 	s := player.Stats()
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("playercli: %5.1fs frames=%d (%.1f fps) video=%.0f kbps L%d switches=%d errors=%d tick=%d migrations=%d fallbacks=%d stall=%dms\n",
+	fmt.Printf("playercli: %5.1fs frames=%d (%.1f fps) video=%.0f kbps L%d switches=%d errors=%d tick=%d migrations=%d fallbacks=%d stall=%dms qoe=%d\n",
 		elapsed, s.Frames, float64(s.Frames)/elapsed,
 		float64(s.VideoBits)/elapsed/1000, s.Level, s.RateSwitches, s.DecodeErrors, s.LastTick,
-		s.Migrations, s.FallbackTransitions, s.StallMs)
+		s.Migrations, s.FallbackTransitions, s.StallMs, s.QoEReports)
 }

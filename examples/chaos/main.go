@@ -148,13 +148,21 @@ func run(seed uint64) error {
 	}
 	now := servingFog(fogs)
 	fmt.Printf("player 1 : streaming again from %q (frames=%d)\n", now, player.Stats().Frames)
+	fmt.Printf("player 1 : reported the failure to the cloud's reputation book (qoe reports=%d)\n",
+		player.Stats().QoEReports)
+	fmt.Println("cloud    : ranked failover ladder after the incident (best first):")
+	for i, c := range cloud.Candidates() {
+		fmt.Printf("           #%d %s load=%d/%d score=%.2f\n",
+			i+1, c.Addr, c.Load, c.Capacity, c.Score)
+	}
 
 	fmt.Println("\n--- resilience counters ---")
 	cs = cloud.Stats()
-	fmt.Printf("cloud    : evictions=%d departures=%d heartbeats sent/acked=%d/%d queue drops=%d candidate updates=%d\n",
+	fmt.Printf("cloud    : evictions=%d departures=%d heartbeats sent/acked=%d/%d queue drops=%d candidate updates=%d qoe reports=%d\n",
 		cs.Resilience.Evictions, cs.Resilience.Departures,
 		cs.Resilience.HeartbeatsSent, cs.Resilience.HeartbeatAcks,
-		cs.Resilience.SendQueueDrops, cs.Resilience.CandidateUpdates)
+		cs.Resilience.SendQueueDrops, cs.Resilience.CandidateUpdates,
+		cs.Resilience.QoEReports)
 	for _, name := range []string{"fog-alpha", "fog-beta"} {
 		fs := fogs[name].Stats()
 		fmt.Printf("%-9s: reconnects=%d (attempts=%d) heartbeat acks=%d replica tick=%d\n",

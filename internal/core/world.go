@@ -13,6 +13,7 @@ import (
 	"cloudfog/internal/provisioning"
 	"cloudfog/internal/reputation"
 	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
 	"cloudfog/internal/social"
 	"cloudfog/internal/streaming"
 	"cloudfog/internal/workload"
@@ -244,9 +245,11 @@ func (s *System) buildFog(idAlloc func() int) {
 		s.snMeta[sn.ID] = meta
 	}
 
-	policy := fog.PolicyRandom
+	// Policies live in internal/selection, the §3.2 engine shared with the
+	// live fognet prototype; fog re-exports them for compatibility.
+	policy := selection.PolicyRandom
 	if cfg.Strategies.Reputation {
-		policy = fog.PolicyReputation
+		policy = selection.PolicyReputation
 	}
 	s.selector = &fog.Selector{
 		Manager:       s.fogMgr,

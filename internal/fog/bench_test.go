@@ -1,0 +1,39 @@
+package fog
+
+import (
+	"testing"
+
+	"cloudfog/internal/geo"
+	"cloudfog/internal/netmodel"
+	"cloudfog/internal/reputation"
+	"cloudfog/internal/rng"
+)
+
+// BenchmarkSelectorSelect measures the §3.2 selection hot path: candidate
+// fetch, delay filter, reputation ranking, and sequential probing against a
+// 64-supernode registry.
+func BenchmarkSelectorSelect(b *testing.B) {
+	model := netmodel.NewModel(netmodel.Params{}, 1)
+	m := NewManager(model)
+	r := rng.New(2)
+	for i := 0; i < 64; i++ {
+		loc := geo.Point{X: 1000 + float64(i%8)*30, Y: 1000 + float64(i/8)*30}
+		m.Register(NewSupernode(netmodel.NewSupernodeEndpoint(100+i, loc, r), 3))
+	}
+	dc := netmodel.NewDatacenterEndpoint(9999, geo.Point{X: 4000, Y: 1950})
+	sel := &Selector{Manager: m, Model: model, CloudEndpoint: dc, Policy: PolicyReputation}
+	player := netmodel.NewPlayerEndpoint(1, geo.Point{X: 1050, Y: 1050}, r)
+	book := reputation.NewBook(reputation.DefaultLambda)
+	for i := 0; i < 16; i++ {
+		book.Rate(100+i, 0.5+float64(i)/64, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := sel.Select(player, 200, book, 0, r)
+		if out.Supernode == nil {
+			b.Fatal("selection failed")
+		}
+		m.Disconnect(player.ID, out.Supernode.ID)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"cloudfog/internal/netmodel"
 	"cloudfog/internal/reputation"
 	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
 )
 
 // Supernode is one fog node: a contributed machine pre-installed with the
@@ -212,19 +213,20 @@ func (m *Manager) CandidatesFor(loc geo.Point) []*Supernode {
 }
 
 // SelectionPolicy controls how a player picks among delay-qualified
-// candidates.
-type SelectionPolicy int
+// candidates. It is the shared control plane's selection.Policy; the
+// aliases below keep the historical names working.
+type SelectionPolicy = selection.Policy
 
 const (
 	// PolicyRandom picks a random qualified candidate (CloudFog/B, the
 	// Fig. 10 baseline).
-	PolicyRandom SelectionPolicy = iota + 1
+	PolicyRandom = selection.PolicyRandom
 	// PolicyReputation ranks qualified candidates by the player's own
 	// reputation book (CloudFog-reputation).
-	PolicyReputation
+	PolicyReputation = selection.PolicyReputation
 	// PolicyGlobalReputation ranks by a shared global reputation — the
 	// sybil-vulnerable strawman kept as an ablation.
-	PolicyGlobalReputation
+	PolicyGlobalReputation = selection.PolicyGlobalReputation
 )
 
 // Selection is the outcome of a player's supernode-selection procedure,
@@ -266,7 +268,8 @@ type Selector struct {
 // maxDelayMs (L_max, from the game's latency requirement), order the rest
 // by policy, then sequentially probe for available capacity and connect to
 // the first that accepts. A nil book with PolicyReputation is treated as an
-// empty book (all scores zero).
+// empty book (all scores zero). The filtering, ranking, and probing are
+// delegated to the shared internal/selection pipeline.
 func (sel *Selector) Select(player *netmodel.Endpoint, maxDelayMs float64,
 	book *reputation.Book, today int, r *rng.Rand) Selection {
 
@@ -274,57 +277,41 @@ func (sel *Selector) Select(player *netmodel.Endpoint, maxDelayMs float64,
 	out.RequestMs = sel.Model.PathRTTMs(player, sel.CloudEndpoint)
 
 	cands := sel.Manager.CandidatesFor(player.Loc)
-	qualified := make([]*Supernode, 0, len(cands))
-	for _, s := range cands {
-		rtt := sel.Model.PathRTTMs(player, s.Endpoint)
-		if rtt > out.PingMs {
-			out.PingMs = rtt // pings run in parallel; slowest dominates
-		}
-		if rtt/2 <= maxDelayMs {
-			qualified = append(qualified, s)
+	list := make(selection.List, len(cands))
+	for i, s := range cands {
+		list[i] = selection.Candidate{
+			ID:       s.ID,
+			Load:     s.Load(),
+			Capacity: s.Capacity,
+			RTTMs:    sel.Model.PathRTTMs(player, s.Endpoint),
 		}
 	}
-	out.Candidates = len(qualified)
-	if len(qualified) == 0 {
-		return out
-	}
-
+	var scorer selection.Scorer
 	switch sel.Policy {
-	case PolicyReputation:
-		// Shuffle first so that candidates with equal scores (in
-		// particular the score-0 unknowns) are probed in random order —
-		// a deterministic tie-break would herd every player onto the
-		// same supernode.
-		r.Shuffle(len(qualified), func(i, j int) {
-			qualified[i], qualified[j] = qualified[j], qualified[i]
-		})
+	case PolicyGlobalReputation:
+		if sel.Global != nil {
+			scorer = sel.Global
+		}
+	default:
 		if book == nil {
 			book = reputation.NewBook(reputation.DefaultLambda)
 		}
-		sort.SliceStable(qualified, func(i, j int) bool {
-			return book.Score(qualified[i].ID, today) > book.Score(qualified[j].ID, today)
-		})
-	case PolicyGlobalReputation:
-		if sel.Global != nil {
-			sort.SliceStable(qualified, func(i, j int) bool {
-				return sel.Global.Score(qualified[i].ID, today) >
-					sel.Global.Score(qualified[j].ID, today)
-			})
-		}
-	default: // PolicyRandom
-		r.Shuffle(len(qualified), func(i, j int) {
-			qualified[i], qualified[j] = qualified[j], qualified[i]
-		})
+		scorer = book
 	}
-
+	pipe := selection.Pipeline{
+		Source: list,
+		Ranker: selection.PolicyRanker{Policy: sel.Policy, Scorer: scorer},
+	}
 	// Sequential capacity probing: one RTT per asked supernode.
-	for _, s := range qualified {
-		out.Probed++
-		out.ProbeMs += sel.Model.PathRTTMs(player, s.Endpoint)
-		if sel.Manager.Connect(player.ID, s.ID) {
-			out.Supernode = s
-			return out
-		}
+	res := pipe.Run(maxDelayMs, today, r, func(c selection.Candidate) bool {
+		out.ProbeMs += c.RTTMs
+		return sel.Manager.Connect(player.ID, c.ID)
+	})
+	out.PingMs = res.PingMs
+	out.Candidates = res.Candidates
+	out.Probed = res.Probed
+	if res.OK {
+		out.Supernode = sel.Manager.Get(res.Chosen.ID)
 	}
 	return out
 }

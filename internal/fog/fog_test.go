@@ -279,3 +279,27 @@ func TestPlayersSorted(t *testing.T) {
 		t.Errorf("Players = %v", got)
 	}
 }
+
+func TestSelectorGlobalReputationShufflesUnknowns(t *testing.T) {
+	// Regression: under PolicyGlobalReputation, score-0 unknowns used to be
+	// probed in deterministic (distance) order, herding every player onto
+	// the same supernode. The shared ranker shuffles ties before the stable
+	// sort, so the first probe must vary across streams.
+	dc := netmodel.NewDatacenterEndpoint(9999, geo.Point{X: 4000, Y: 1950})
+	first := map[int]bool{}
+	for seed := uint64(0); seed < 24; seed++ {
+		m, model, _ := newTestManager(t, 10)
+		m.CandidateListSize = 10
+		sel := &Selector{Manager: m, Model: model, CloudEndpoint: dc,
+			Policy: PolicyGlobalReputation, Global: reputation.NewGlobalBook(0.9)}
+		r := rng.New(1000 + seed)
+		out := sel.Select(playerAt(1, 1050, 1050, r), 200, nil, 0, r)
+		if out.Supernode == nil {
+			t.Fatal("selection failed")
+		}
+		first[out.Supernode.ID] = true
+	}
+	if len(first) < 3 {
+		t.Errorf("unknown candidates herd onto %v under global reputation", first)
+	}
+}

@@ -1,0 +1,41 @@
+package fognet
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
+)
+
+// BenchmarkCandidateLadder measures the player-side ladder build: overlaying
+// measured RTTs, the L_max filter, and the §3.2 policy ranking over a
+// cloud-provided candidate list. This runs on every migration attempt, so it
+// must stay cheap even with a large fog deployment.
+func BenchmarkCandidateLadder(b *testing.B) {
+	const n = 64
+	cands := make([]protocol.CandidateInfo, n)
+	rtts := make(map[string]float64, n/2)
+	for i := range cands {
+		addr := fmt.Sprintf("10.0.%d.%d:9000", i/8, i%8)
+		cands[i] = protocol.CandidateInfo{
+			Addr:          addr,
+			Load:          uint16(i % 5),
+			Capacity:      4,
+			MeasuredRTTMs: -1,
+			Score:         float64(i%10) / 10,
+		}
+		if i%2 == 0 {
+			rtts[addr] = float64(10 + i*3)
+		}
+	}
+	r := rng.New(1).SplitNamed("ladder-rank")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ladder := buildLadder(cands, rtts, selection.PolicyReputation, 120, "cloud:1", r)
+		if len(ladder) == 0 {
+			b.Fatal("empty ladder")
+		}
+	}
+}

@@ -33,6 +33,9 @@ import (
 
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
+	"cloudfog/internal/reputation"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
 	"cloudfog/internal/virtualworld"
 )
 
@@ -88,6 +91,14 @@ type CloudConfig struct {
 	// WrapConn, when set, wraps every accepted connection — the faultnet
 	// injection point for chaos tests.
 	WrapConn func(net.Conn) net.Conn
+	// SelectionPolicy ranks the candidate ladders pushed to players
+	// (§3.2 via internal/selection). Defaults to
+	// selection.PolicyReputation, scoring supernodes by the cloud's live
+	// QoE book.
+	SelectionPolicy selection.Policy
+	// Seed drives the deterministic tie-break shuffle of the ladder
+	// ranking.
+	Seed uint64
 }
 
 // CloudServer is the authoritative game-state tier.
@@ -109,6 +120,17 @@ type CloudServer struct {
 	hbSeq         uint32
 	resil         CloudResilience
 
+	// Live §3.2 selection control plane: QoE reports from players feed
+	// book, and candidateInfos ranks the ladder with ranker. addrIDs maps
+	// stream addresses to stable reputation IDs so a supernode keeps its
+	// history across reconnects (connection IDs are reassigned).
+	book       *reputation.GlobalBook
+	addrIDs    map[string]int
+	nextAddrID int
+	ranker     selection.PolicyRanker
+	rankRand   *rng.Rand
+	started    time.Time
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -129,6 +151,8 @@ type CloudResilience struct {
 	// CandidateUpdates counts failover-ladder refreshes pushed to
 	// players.
 	CandidateUpdates int64
+	// QoEReports counts player ratings absorbed into the reputation book.
+	QoEReports int64
 }
 
 type outMsg struct {
@@ -147,6 +171,9 @@ type supernodeConn struct {
 	stopOnce   sync.Once
 	// missed counts consecutive unanswered heartbeats (cloud mu).
 	missed int
+	// lastAttached is the player count from the latest heartbeat ack
+	// (cloud mu) — the load the ladder ranking sorts by.
+	lastAttached int
 }
 
 // playerConn is a player's control connection; sendMu serializes the
@@ -176,10 +203,14 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	if cfg.SendQueueLen <= 0 {
 		cfg.SendQueueLen = DefaultSendQueueLen
 	}
+	if cfg.SelectionPolicy == 0 {
+		cfg.SelectionPolicy = selection.PolicyReputation
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("cloud listen: %w", err)
 	}
+	book := reputation.NewGlobalBook(reputation.DefaultLambda)
 	s := &CloudServer{
 		cfg:        cfg,
 		listener:   ln,
@@ -187,6 +218,11 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 		supernodes: make(map[uint32]*supernodeConn),
 		players:    make(map[int32]*playerConn),
 		nextSNID:   1,
+		book:       book,
+		addrIDs:    make(map[string]int),
+		ranker:     selection.PolicyRanker{Policy: cfg.SelectionPolicy, Scorer: optimisticScorer{book}},
+		rankRand:   rng.New(cfg.Seed).SplitNamed("cloud-ladder"),
+		started:    time.Now(),
 		stop:       make(chan struct{}),
 	}
 	width, height := s.world.Size()
@@ -436,14 +472,106 @@ func (s *CloudServer) unregisterSupernode(sn *supernodeConn, evicted bool) {
 	}
 }
 
-// candidateLadder snapshots the current failover ladder under mu.
-func (s *CloudServer) candidateLadder() []string {
-	addrs := make([]string, 0, len(s.supernodes))
-	for _, sn := range s.supernodes {
-		addrs = append(addrs, sn.streamAddr)
+// optimisticScorer scores supernodes by the cloud's QoE book with an
+// optimistic prior: a supernode nobody has reported on yet scores 0.5,
+// between proven-good (→1) and proven-bad (→0). Unknowns are therefore
+// tried before demoted supernodes but after established ones — without the
+// prior, a freshly-stalled supernode (score ~0) would be indistinguishable
+// from a brand-new one.
+type optimisticScorer struct{ book *reputation.GlobalBook }
+
+// unknownScore is the prior for supernodes with no QoE reports.
+const unknownScore = 0.5
+
+func (o optimisticScorer) Score(id, today int) float64 {
+	if o.book.NumRatings(id) == 0 {
+		return unknownScore
 	}
-	sort.Strings(addrs)
-	return addrs
+	return o.book.Score(id, today)
+}
+
+// qoeDayMinutes is the wall-clock length of one reputation "day": the
+// aging unit of Eq. 7, compressed so a long-running cloud forgets old
+// incidents within the hour rather than within the week.
+const qoeDayMinutes = 1
+
+// day is the cloud's reputation clock (mu not required).
+func (s *CloudServer) day() int {
+	return int(time.Since(s.started).Minutes()) / qoeDayMinutes
+}
+
+// addrID returns the stable reputation ID for a stream address, allocating
+// one on first sight (caller holds mu). Keyed by address, not connection
+// ID, so a supernode keeps its reputation across reconnects.
+func (s *CloudServer) addrID(addr string) int {
+	id, ok := s.addrIDs[addr]
+	if !ok {
+		id = s.nextAddrID
+		s.nextAddrID++
+		s.addrIDs[addr] = id
+	}
+	return id
+}
+
+// candidateInfos snapshots the current failover ladder under mu, ranked by
+// the shared §3.2 pipeline: candidates carry their last-acked load,
+// advertised capacity, and live QoE score, ordered best-first by the
+// configured policy (the alphabetical sort this replaces ignored all
+// three). Candidates are pre-sorted by stable ID so the deterministic
+// tie-break shuffle is meaningful despite map iteration order.
+func (s *CloudServer) candidateInfos() []protocol.CandidateInfo {
+	cands := make([]selection.Candidate, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		cands = append(cands, selection.Candidate{
+			ID:       s.addrID(sn.streamAddr),
+			Addr:     sn.streamAddr,
+			Load:     sn.lastAttached,
+			Capacity: sn.capacity,
+			RTTMs:    -1, // the cloud cannot ping on the player's behalf
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	s.ranker.Rank(cands, s.day(), s.rankRand)
+	out := make([]protocol.CandidateInfo, len(cands))
+	for i, c := range cands {
+		out[i] = protocol.CandidateInfo{
+			Addr:          c.Addr,
+			Load:          uint16(c.Load),
+			Capacity:      uint16(c.Capacity),
+			MeasuredRTTMs: -1,
+			Score:         c.Score,
+		}
+	}
+	return out
+}
+
+// Candidates returns the current ranked failover ladder — what the next
+// joining player would receive. Exposed for tests and operational
+// inspection.
+func (s *CloudServer) Candidates() []protocol.CandidateInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.candidateInfos()
+}
+
+// recordQoE absorbs a player's rating into the reputation book. Stall and
+// fallback reports re-rank the ladder immediately and push it to every
+// player; periodic healthy reports wait for the next natural refresh.
+func (s *CloudServer) recordQoE(rep protocol.QoEReport) {
+	s.mu.Lock()
+	id, known := s.addrIDs[rep.Addr]
+	if !known {
+		// Never seen this address as a supernode: a bogus or stale
+		// report; absorbing it would let players mint reputation IDs.
+		s.mu.Unlock()
+		return
+	}
+	s.book.Rate(id, rep.Rating, s.day())
+	s.resil.QoEReports++
+	s.mu.Unlock()
+	if rep.Stalled || rep.Fallback {
+		s.broadcastCandidates()
+	}
 }
 
 // broadcastCandidates pushes the current ladder to every admitted player,
@@ -452,7 +580,7 @@ func (s *CloudServer) candidateLadder() []string {
 func (s *CloudServer) broadcastCandidates() {
 	s.mu.Lock()
 	update := protocol.CandidateUpdate{
-		SupernodeAddrs:  s.candidateLadder(),
+		Candidates:      s.candidateInfos(),
 		CloudStreamAddr: s.Addr(),
 	}
 	players := make([]*playerConn, 0, len(s.players))
@@ -598,11 +726,15 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 		if typ != protocol.MsgHeartbeatAck {
 			continue
 		}
-		if _, aerr := protocol.UnmarshalHeartbeatAck(payload); aerr != nil {
+		ack, aerr := protocol.UnmarshalHeartbeatAck(payload)
+		if aerr != nil {
 			continue
 		}
 		s.mu.Lock()
 		sn.missed = 0
+		// The ack doubles as a load report: the attached-player count
+		// feeds the availability sort of the candidate ladder.
+		sn.lastAttached = int(ack.Attached)
 		s.resil.HeartbeatAcks++
 		s.mu.Unlock()
 	}
@@ -619,13 +751,14 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 	s.mu.Lock()
 	s.world.SpawnAvatar(int(join.PlayerID), join.SpawnX, join.SpawnY)
 	s.players[join.PlayerID] = pc
-	// Candidate list: registered supernode stream addresses, stable order.
-	addrs := s.candidateLadder()
+	// Candidate ladder: registered supernodes ranked by the shared §3.2
+	// pipeline (load, capacity, live QoE score).
+	cands := s.candidateInfos()
 	s.mu.Unlock()
 
 	reply := protocol.JoinReply{
 		OK:              true,
-		SupernodeAddrs:  addrs,
+		Candidates:      cands,
 		CloudStreamAddr: s.Addr(),
 	}
 	pc.sendMu.Lock()
@@ -653,6 +786,12 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 			s.mu.Lock()
 			s.pending = append(s.pending, am.Action)
 			s.mu.Unlock()
+		case protocol.MsgQoEReport:
+			rep, rerr := protocol.UnmarshalQoEReport(payload)
+			if rerr != nil || rep.PlayerID != join.PlayerID {
+				continue // never let a player rate on another's behalf
+			}
+			s.recordQoE(rep)
 		case protocol.MsgBye:
 			s.dropPlayer(join.PlayerID, pc)
 			return

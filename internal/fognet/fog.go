@@ -79,6 +79,7 @@ type FogNode struct {
 	attached  map[int32]struct{}
 	videoBits int64
 	frames    int64
+	probes    int64
 	resil     FogResilience
 
 	jitter *rng.Rand // reconnect jitter; guarded by mu
@@ -220,6 +221,9 @@ type FogStats struct {
 	Frames int64
 	// VideoBits is the total video egress.
 	VideoBits int64
+	// Probes counts capacity probes answered — how often this supernode
+	// was tried during §3.2 selection, whether or not a player attached.
+	Probes int64
 	// AppliedDeltas / StaleDeltas are replica counters.
 	AppliedDeltas int
 	StaleDeltas   int
@@ -236,6 +240,7 @@ func (f *FogNode) Stats() FogStats {
 		Attached:      len(f.attached),
 		Frames:        f.frames,
 		VideoBits:     f.videoBits,
+		Probes:        f.probes,
 		AppliedDeltas: f.replica.AppliedDeltas(),
 		StaleDeltas:   f.replica.StaleDeltas(),
 		Resilience:    f.resil,
@@ -384,6 +389,9 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 		}
 		switch typ {
 		case protocol.MsgProbe:
+			f.mu.Lock()
+			f.probes++
+			f.mu.Unlock()
 			reply := protocol.ProbeReply{Available: f.available()}
 			if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
 				return

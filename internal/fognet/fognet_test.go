@@ -8,6 +8,9 @@ import (
 
 	"cloudfog/internal/faultnet"
 	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
 )
 
 // startCloud creates a fast-ticking cloud server for tests.
@@ -685,5 +688,176 @@ func TestChaosChurnPlayerSurvives(t *testing.T) {
 	if s.DecodeErrors > s.Frames/5 {
 		t.Errorf("stream did not resume cleanly: %d errors / %d frames",
 			s.DecodeErrors, s.Frames)
+	}
+}
+
+// --- selection control plane: ranked ladders and QoE feedback --------------
+
+func TestBuildLadderFiltersAndRanks(t *testing.T) {
+	cands := []protocol.CandidateInfo{
+		{Addr: "a:1", Load: 4, Capacity: 4, MeasuredRTTMs: -1, Score: 0.9}, // full
+		{Addr: "b:1", Load: 0, Capacity: 4, MeasuredRTTMs: -1, Score: 0.2},
+		{Addr: "c:1", Load: 0, Capacity: 4, MeasuredRTTMs: -1, Score: 0.8},
+		{Addr: "d:1", Load: 0, Capacity: 4, MeasuredRTTMs: -1, Score: 0.5}, // too far
+	}
+	rtts := map[string]float64{"d:1": 500}
+	r := rng.New(1).SplitNamed("ladder-rank")
+	got := buildLadder(cands, rtts, selection.PolicyReputation, 200, "cloud:1", r)
+	want := []string{"c:1", "b:1", "a:1", "cloud:1"}
+	if len(got) != len(want) {
+		t.Fatalf("ladder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v (RTT filter, score order, full-last, cloud tail)", got, want)
+		}
+	}
+}
+
+func TestLadderPrefersRankedOverAlphabetical(t *testing.T) {
+	// Reserve two ephemeral ports so the OVERLOADED supernode gets the
+	// alphabetically-smaller address: the sort.Strings ladder this PR
+	// replaced would probe it first; the ranked ladder must not.
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowAddr, highAddr := ln1.Addr().String(), ln2.Addr().String()
+	if lowAddr > highAddr {
+		lowAddr, highAddr = highAddr, lowAddr
+	}
+	ln1.Close()
+	ln2.Close()
+
+	cloud := startChaosCloud(t, nil) // fast heartbeats: load reports flow quickly
+	overloaded, err := NewFogNode(FogConfig{
+		Name: "fog-overloaded", CloudAddr: cloud.Addr(),
+		StreamAddr: lowAddr, Capacity: 1,
+		FrameInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { overloaded.Close() })
+
+	// Player 1 fills the only supernode.
+	p1, err := NewPlayerClient(PlayerConfig{PlayerID: 61, CloudAddr: cloud.Addr(), Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	waitFor(t, 2*time.Second, "first attach", func() bool {
+		return overloaded.Stats().Attached == 1
+	})
+
+	spare, err := NewFogNode(FogConfig{
+		Name: "fog-spare", CloudAddr: cloud.Addr(),
+		StreamAddr: highAddr, Capacity: 4,
+		FrameInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { spare.Close() })
+
+	// Wait until a heartbeat ack taught the cloud the first supernode is
+	// full, and the ranked ladder leads with the spare.
+	waitFor(t, 3*time.Second, "ladder re-ranked on load", func() bool {
+		cands := cloud.Candidates()
+		return len(cands) == 2 && cands[0].Addr == highAddr && cands[1].Load >= 1
+	})
+
+	probesBefore := overloaded.Stats().Probes
+	p2, err := NewPlayerClient(PlayerConfig{PlayerID: 62, CloudAddr: cloud.Addr(), Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	waitFor(t, 2*time.Second, "second attach on spare", func() bool {
+		return spare.Stats().Attached == 1
+	})
+	// The ranked ladder sent player 2 straight to the spare: the full,
+	// alphabetically-first supernode was never even probed.
+	if got := overloaded.Stats().Probes; got != probesBefore {
+		t.Errorf("overloaded supernode probed %d more times despite ranked ladder",
+			got-probesBefore)
+	}
+}
+
+func TestStallReportsDemoteSupernode(t *testing.T) {
+	// A supernode that freezes mid-stream gets reported by the migrating
+	// player, and the cloud's reputation book pushes it below the healthy
+	// spare in every subsequent ladder.
+	cloud := startChaosCloud(t, nil)
+	faulty := startFog(t, cloud, "fog-faulty", 4)
+	faultyAddr := faulty.StreamAddr()
+
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 104})
+	var frozen atomic.Bool
+	dial := func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if addr == faultyAddr {
+			fc := inj.WrapConn(c)
+			if frozen.Load() {
+				fc.SetMode(faultnet.Blackhole)
+			}
+			return fc, nil
+		}
+		return c, nil
+	}
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 71, CloudAddr: cloud.Addr(),
+		ActionInterval:   10 * time.Millisecond,
+		VideoReadTimeout: 100 * time.Millisecond,
+		DialTimeout:      200 * time.Millisecond,
+		QoEInterval:      -1, // only failure reports: keep the book unambiguous
+		Seed:             71,
+		Dial:             dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+	waitFor(t, 2*time.Second, "attach to faulty", func() bool {
+		return faulty.Stats().Attached == 1
+	})
+	healthy := startFog(t, cloud, "fog-healthy", 4)
+	waitFor(t, 2*time.Second, "candidate update received", func() bool {
+		return player.Stats().CandidateUpdates >= 1
+	})
+	waitFor(t, 2*time.Second, "frames from faulty", func() bool {
+		return player.Stats().Frames > 3
+	})
+
+	frozen.Store(true)
+	inj.SetMode(faultnet.Blackhole)
+	waitFor(t, 5*time.Second, "migration to healthy spare", func() bool {
+		return player.Stats().Migrations >= 1 && healthy.Stats().Attached == 1
+	})
+	// The stall report reached the book...
+	waitFor(t, 2*time.Second, "QoE report absorbed", func() bool {
+		return cloud.Stats().Resilience.QoEReports >= 1
+	})
+	if got := player.Stats().QoEReports; got < 1 {
+		t.Errorf("player sent %d QoE reports, want >= 1", got)
+	}
+	// ...and demoted the faulty supernode below the healthy one (score 0
+	// vs the unknown prior), whatever the addresses sort like.
+	cands := cloud.Candidates()
+	if len(cands) != 2 {
+		t.Fatalf("ladder has %d candidates, want 2", len(cands))
+	}
+	if cands[0].Addr != healthy.StreamAddr() {
+		t.Errorf("ladder leads with the stalled supernode: %+v", cands)
+	}
+	if !(cands[1].Score < cands[0].Score) {
+		t.Errorf("stalled supernode not demoted by score: %+v", cands)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
 	"cloudfog/internal/rng"
+	"cloudfog/internal/selection"
 	"cloudfog/internal/videocodec"
 	"cloudfog/internal/virtualworld"
 )
@@ -22,6 +23,14 @@ const DefaultVideoReadTimeout = 2 * time.Second
 // migrateAttempts bounds how many times the failover ladder is retried
 // (with jittered backoff) before the player gives up.
 const migrateAttempts = 5
+
+// DefaultQoEInterval is how often the player reports a healthy serving
+// supernode to the cloud's reputation book.
+const DefaultQoEInterval = 5 * time.Second
+
+// rttEWMAAlpha is the weight of the newest probe round-trip in the
+// player's per-address RTT estimate.
+const rttEWMAAlpha = 0.5
 
 // PlayerConfig parameterizes a PlayerClient.
 type PlayerConfig struct {
@@ -53,6 +62,19 @@ type PlayerConfig struct {
 	// Dial, when set, replaces net.DialTimeout — the faultnet injection
 	// point for chaos tests.
 	Dial DialFunc
+	// Policy ranks the failover ladder locally (§3.2 via
+	// internal/selection), using the cloud's per-candidate scores plus
+	// the player's own measured RTTs. Defaults to
+	// selection.PolicyReputation.
+	Policy selection.Policy
+	// MaxCandidateRTTMs drops candidates whose measured round-trip
+	// exceeds this bound (the L_max delay filter of §3.2, expressed as an
+	// RTT). Zero disables the filter; unmeasured candidates always pass.
+	MaxCandidateRTTMs float64
+	// QoEInterval is how often a healthy serving supernode is reported to
+	// the cloud. Zero means DefaultQoEInterval; negative disables
+	// reporting entirely.
+	QoEInterval time.Duration
 }
 
 // PlayerClient is a thin client: it sends inputs to the cloud and receives
@@ -74,14 +96,25 @@ type PlayerClient struct {
 	stallMs    int64
 	candUpd    int64
 
-	// candidates is the cloud-provided supernode list, kept fresh by
-	// MsgCandidateUpdate pushes, for the migration of §3.2.2: when the
-	// serving supernode fails, the player walks the ladder candidates →
-	// cloud fallback before giving up.
-	candidates []string
-	cloudAddr  string // the cloud's own stream endpoint (ladder tail)
+	// candidates is the cloud-provided ladder — addresses plus load,
+	// capacity, and reputation score — kept fresh by MsgCandidateUpdate
+	// pushes, for the migration of §3.2.2: when the serving supernode
+	// fails, the player walks the ladder candidates → cloud fallback
+	// before giving up. rttMs overlays the player's own probe
+	// measurements (EWMA per address), which outrank the cloud's view of
+	// network distance when ranking.
+	candidates  []protocol.CandidateInfo
+	rttMs       map[string]float64
+	cloudAddr   string // the cloud's own stream endpoint (ladder tail)
+	servingAddr string // the address currently streaming video
+	qoeReports  int64
 
 	jitter *rng.Rand // migration backoff jitter; guarded by mu
+	rank   *rng.Rand // ladder tie-break shuffle; guarded by mu
+
+	// cloudMu serializes writes on the cloud control connection, which
+	// now carries QoE reports alongside the action stream.
+	cloudMu sync.Mutex
 
 	ctrl *adaptation.Controller
 
@@ -114,6 +147,12 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if cfg.Dial == nil {
 		cfg.Dial = net.DialTimeout
 	}
+	if cfg.Policy == 0 {
+		cfg.Policy = selection.PolicyReputation
+	}
+	if cfg.QoEInterval == 0 {
+		cfg.QoEInterval = DefaultQoEInterval
+	}
 	cloud, err := cfg.Dial("tcp", cfg.CloudAddr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("player dial cloud: %w", err)
@@ -122,10 +161,12 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		cfg:   cfg,
 		cloud: cloud,
 		level: cfg.Game.DefaultQuality,
+		rttMs: make(map[string]float64),
 		stop:  make(chan struct{}),
 	}
 	r := rng.New(cfg.Seed + uint64(cfg.PlayerID))
 	p.jitter = r.SplitNamed("migrate-jitter")
+	p.rank = r.SplitNamed("ladder-rank")
 	join := protocol.PlayerJoin{
 		PlayerID: cfg.PlayerID,
 		GameID:   uint8(cfg.Game.ID),
@@ -149,7 +190,7 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		return nil, fmt.Errorf("player join rejected: %s %w", reply.Reason, err)
 	}
 
-	p.candidates = reply.SupernodeAddrs
+	p.candidates = reply.Candidates
 	p.cloudAddr = reply.CloudStreamAddr
 	video, err := p.attachToAny(p.ladder())
 	if err != nil {
@@ -172,18 +213,63 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	return p, nil
 }
 
-// ladder returns the current failover ladder: candidate supernodes first,
-// the cloud's own stream endpoint last (§3.2: players that cannot find
-// nearby supernodes connect directly to the cloud).
+// ladder returns the current failover ladder: candidate supernodes ranked
+// by the shared §3.2 pipeline, the cloud's own stream endpoint last (§3.2:
+// players that cannot find nearby supernodes connect directly to the
+// cloud).
 func (p *PlayerClient) ladder() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]string, 0, len(p.candidates)+1)
-	out = append(out, p.candidates...)
-	if p.cloudAddr != "" {
-		out = append(out, p.cloudAddr)
+	return buildLadder(p.candidates, p.rttMs, p.cfg.Policy,
+		p.cfg.MaxCandidateRTTMs, p.cloudAddr, p.rank)
+}
+
+// buildLadder ranks the cloud-provided candidates into a dial order. The
+// player's own measured RTT for an address overrides the cloud's estimate
+// (the cloud cannot ping on the player's behalf), maxRTTMs applies the
+// L_max delay filter of §3.2, and the ranking policy orders the rest by
+// availability and score — replacing the list-position order players used
+// before. Pure so it can be tested and benchmarked without a live client.
+func buildLadder(cands []protocol.CandidateInfo, rtts map[string]float64,
+	policy selection.Policy, maxRTTMs float64, cloudAddr string, r *rng.Rand) []string {
+	sel := make([]selection.Candidate, len(cands))
+	for i, c := range cands {
+		rtt := c.MeasuredRTTMs
+		if m, ok := rtts[c.Addr]; ok {
+			rtt = m
+		}
+		sel[i] = selection.Candidate{
+			ID:       i,
+			Addr:     c.Addr,
+			Load:     int(c.Load),
+			Capacity: int(c.Capacity),
+			RTTMs:    rtt,
+			Score:    c.Score,
+		}
+	}
+	if maxRTTMs > 0 {
+		sel = selection.FilterByDelay(sel, maxRTTMs/2)
+	}
+	ranker := selection.PolicyRanker{Policy: policy} // nil Scorer: cloud scores stand
+	ranker.Rank(sel, 0, r)
+	out := make([]string, 0, len(sel)+1)
+	for _, c := range sel {
+		out = append(out, c.Addr)
+	}
+	if cloudAddr != "" {
+		out = append(out, cloudAddr)
 	}
 	return out
+}
+
+// noteRTT folds a fresh probe round-trip into the per-address EWMA.
+func (p *PlayerClient) noteRTT(addr string, ms float64) {
+	p.mu.Lock()
+	if old, ok := p.rttMs[addr]; ok {
+		ms = rttEWMAAlpha*ms + (1-rttEWMAAlpha)*old
+	}
+	p.rttMs[addr] = ms
+	p.mu.Unlock()
 }
 
 // attachToAny probes the candidate supernodes in order and attaches to the
@@ -196,7 +282,9 @@ func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 			continue
 		}
 		conn.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
-		// Probe for capacity first.
+		// Probe for capacity first; the probe round-trip doubles as the
+		// player's RTT measurement for ladder ranking.
+		probeSent := time.Now()
 		if err := protocol.WriteMessage(conn, protocol.MsgProbe, nil); err != nil {
 			conn.Close()
 			continue
@@ -206,6 +294,7 @@ func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 			conn.Close()
 			continue
 		}
+		p.noteRTT(addr, float64(time.Since(probeSent).Microseconds())/1000)
 		probe, err := protocol.UnmarshalProbeReply(payload)
 		if err != nil || probe.Available <= 0 {
 			conn.Close()
@@ -234,6 +323,7 @@ func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 		if addr == p.cloudAddr {
 			p.fallbacks++
 		}
+		p.servingAddr = addr
 		p.mu.Unlock()
 		return conn, nil
 	}
@@ -253,8 +343,10 @@ func (p *PlayerClient) Close() error {
 	p.mu.Lock()
 	video := p.video
 	p.mu.Unlock()
+	p.cloudMu.Lock()
 	p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 	protocol.WriteMessage(p.cloud, protocol.MsgBye, nil)
+	p.cloudMu.Unlock()
 	if video != nil {
 		video.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 		protocol.WriteMessage(video, protocol.MsgBye, nil)
@@ -290,6 +382,9 @@ type PlayerStats struct {
 	// CandidateUpdates counts failover-ladder refreshes received from
 	// the cloud.
 	CandidateUpdates int64
+	// QoEReports counts ratings this player sent to the cloud's
+	// reputation book.
+	QoEReports int64
 }
 
 // Stats snapshots the counters.
@@ -307,20 +402,59 @@ func (p *PlayerClient) Stats() PlayerStats {
 		FallbackTransitions: p.fallbacks,
 		StallMs:             p.stallMs,
 		CandidateUpdates:    p.candUpd,
+		QoEReports:          p.qoeReports,
 	}
 }
 
-// actionLoop streams synthetic inputs to the cloud: the player wanders
-// between random waypoints.
+// reportQoE sends one rating for addr over the control connection,
+// best-effort: a broken cloud link surfaces in the loops that own it.
+func (p *PlayerClient) reportQoE(addr string, rating float64, stalled, fallback bool) {
+	rep := protocol.QoEReport{
+		PlayerID: p.cfg.PlayerID,
+		Addr:     addr,
+		Rating:   rating,
+		Stalled:  stalled,
+		Fallback: fallback,
+	}
+	p.cloudMu.Lock()
+	p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	err := protocol.WriteMessage(p.cloud, protocol.MsgQoEReport, rep.Marshal())
+	p.cloud.SetWriteDeadline(time.Time{})
+	p.cloudMu.Unlock()
+	if err == nil {
+		p.mu.Lock()
+		p.qoeReports++
+		p.mu.Unlock()
+	}
+}
+
+// actionLoop streams synthetic inputs to the cloud (the player wanders
+// between random waypoints) and, on a slower ticker, reports the serving
+// supernode healthy — the positive half of the reputation feedback loop;
+// migrate sends the negative half.
 func (p *PlayerClient) actionLoop(r *rng.Rand) {
 	defer p.wg.Done()
 	ticker := time.NewTicker(p.cfg.ActionInterval)
 	defer ticker.Stop()
+	var qoeC <-chan time.Time
+	if p.cfg.QoEInterval > 0 {
+		qoeTicker := time.NewTicker(p.cfg.QoEInterval)
+		defer qoeTicker.Stop()
+		qoeC = qoeTicker.C
+	}
 	tx, ty := r.Uniform(0, 400), r.Uniform(0, 400)
 	for {
 		select {
 		case <-p.stop:
 			return
+		case <-qoeC:
+			p.mu.Lock()
+			addr := p.servingAddr
+			isCloud := addr == p.cloudAddr
+			p.mu.Unlock()
+			if addr != "" && !isCloud {
+				p.reportQoE(addr, 1, false, false)
+			}
 		case <-ticker.C:
 			if r.Bool(0.1) {
 				tx, ty = r.Uniform(0, 400), r.Uniform(0, 400)
@@ -329,8 +463,11 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 				Player: int(p.cfg.PlayerID), Kind: virtualworld.ActMove,
 				TargetX: tx, TargetY: ty,
 			}}
+			p.cloudMu.Lock()
 			p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-			if protocol.WriteMessage(p.cloud, protocol.MsgAction, msg.Marshal()) != nil {
+			err := protocol.WriteMessage(p.cloud, protocol.MsgAction, msg.Marshal())
+			p.cloudMu.Unlock()
+			if err != nil {
 				return
 			}
 		}
@@ -354,7 +491,7 @@ func (p *PlayerClient) cloudLoop() {
 			continue
 		}
 		p.mu.Lock()
-		p.candidates = upd.SupernodeAddrs
+		p.candidates = upd.Candidates
 		if upd.CloudStreamAddr != "" {
 			p.cloudAddr = upd.CloudStreamAddr
 		}
@@ -444,9 +581,22 @@ func (p *PlayerClient) videoLoop() {
 // migrate walks the failover ladder after the serving connection failed,
 // retrying with jittered backoff, and returns the new connection. It
 // reports false when the client is closing or the ladder stays dry. The
-// downtime from detection to resumption is accounted as stall time.
+// downtime from detection to resumption is accounted as stall time. The
+// failed supernode is reported to the cloud's reputation book (rating 0,
+// stalled), and again with the fallback flag if the migration ends on the
+// cloud's own stream — every escape to the expensive rung demotes whoever
+// caused it.
 func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
 	stallStart := time.Now()
+	p.mu.Lock()
+	failed := p.servingAddr
+	if failed == p.cloudAddr {
+		failed = "" // the cloud rates supernodes, not itself
+	}
+	p.mu.Unlock()
+	if failed != "" {
+		p.reportQoE(failed, 0, true, false)
+	}
 	backoff := 50 * time.Millisecond
 	for attempt := 0; attempt < migrateAttempts; attempt++ {
 		select {
@@ -461,7 +611,11 @@ func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
 			p.video = conn
 			p.migrations++
 			p.stallMs += time.Since(stallStart).Milliseconds()
+			landedOnCloud := p.servingAddr == p.cloudAddr
 			p.mu.Unlock()
+			if landedOnCloud && failed != "" {
+				p.reportQoE(failed, 0, false, true)
+			}
 			if old != nil {
 				old.Close()
 			}

@@ -67,9 +67,14 @@ const (
 	// progress, doubling as a cheap health report.
 	MsgHeartbeatAck
 	// MsgCandidateUpdate pushes a refreshed failover ladder to a player
-	// when the supernode set changes (registration, eviction, departure),
-	// so migrations never target stale addresses.
+	// when the supernode set changes (registration, eviction, departure)
+	// or the ranking shifts, so migrations never target stale addresses.
 	MsgCandidateUpdate
+	// MsgQoEReport carries a player's rating of a supernode to the cloud —
+	// the feedback that drives the live reputation book behind the ranked
+	// candidate ladder (§3.2's rating step, reported upward instead of
+	// kept private because the cloud builds the ladder).
+	MsgQoEReport
 )
 
 // String names the message type.
@@ -107,6 +112,8 @@ func (t MsgType) String() string {
 		return "heartbeat-ack"
 	case MsgCandidateUpdate:
 		return "candidate-update"
+	case MsgQoEReport:
+		return "qoe-report"
 	default:
 		return "unknown"
 	}
@@ -381,13 +388,50 @@ func UnmarshalPlayerJoin(buf []byte) (PlayerJoin, error) {
 	return m, r.finish()
 }
 
+// CandidateInfo describes one candidate supernode on the wire: everything
+// a player needs to run the §3.2 selection pipeline client-side instead of
+// trusting list position.
+type CandidateInfo struct {
+	// Addr is the supernode's streaming address.
+	Addr string
+	// Load is the supernode's player count as of its last heartbeat ack.
+	Load uint16
+	// Capacity is the supernode's advertised max concurrent players.
+	Capacity uint16
+	// MeasuredRTTMs is the round trip to the candidate; negative when the
+	// sender has no measurement (the cloud cannot ping on the player's
+	// behalf — players fill this from their own probes).
+	MeasuredRTTMs float64
+	// Score is the candidate's reputation score in the sender's book.
+	Score float64
+}
+
+func putCandidateInfo(w *writer, c CandidateInfo) {
+	w.str(c.Addr)
+	w.u16(c.Load)
+	w.u16(c.Capacity)
+	w.f64(c.MeasuredRTTMs)
+	w.f64(c.Score)
+}
+
+func getCandidateInfo(r *reader) CandidateInfo {
+	return CandidateInfo{
+		Addr:          r.str(),
+		Load:          r.u16(),
+		Capacity:      r.u16(),
+		MeasuredRTTMs: r.f64(),
+		Score:         r.f64(),
+	}
+}
+
 // JoinReply tells the player where to stream from.
 type JoinReply struct {
 	// OK reports admission.
 	OK bool
-	// SupernodeAddrs are candidate streaming addresses, best first — the
-	// cloud's candidate list of §3.2.
-	SupernodeAddrs []string
+	// Candidates are the candidate supernodes, ranked best first — the
+	// cloud's candidate list of §3.2, with the load/capacity/score data
+	// the player re-ranks by.
+	Candidates []CandidateInfo
 	// CloudStreamAddr is the cloud's own streaming endpoint, the fallback
 	// for players that no supernode accepts ("normal nodes that cannot
 	// find nearby supernodes directly connect to the cloud").
@@ -404,9 +448,9 @@ func (m JoinReply) Marshal() []byte {
 	} else {
 		w.u8(0)
 	}
-	w.u16(uint16(len(m.SupernodeAddrs)))
-	for _, a := range m.SupernodeAddrs {
-		w.str(a)
+	w.u16(uint16(len(m.Candidates)))
+	for _, c := range m.Candidates {
+		putCandidateInfo(w, c)
 	}
 	w.str(m.CloudStreamAddr)
 	w.str(m.Reason)
@@ -419,7 +463,7 @@ func UnmarshalJoinReply(buf []byte) (JoinReply, error) {
 	m := JoinReply{OK: r.u8() == 1}
 	n := int(r.u16())
 	for i := 0; i < n && r.err == nil; i++ {
-		m.SupernodeAddrs = append(m.SupernodeAddrs, r.str())
+		m.Candidates = append(m.Candidates, getCandidateInfo(r))
 	}
 	m.CloudStreamAddr = r.str()
 	m.Reason = r.str()
@@ -621,11 +665,12 @@ func UnmarshalHeartbeatAck(buf []byte) (HeartbeatAck, error) {
 }
 
 // CandidateUpdate refreshes a player's failover ladder after the supernode
-// set changes. Semantically it is the live-update counterpart of the
-// JoinReply candidate list (§3.2.2 churn handling).
+// set or its ranking changes. Semantically it is the live-update
+// counterpart of the JoinReply candidate list (§3.2.2 churn handling).
 type CandidateUpdate struct {
-	// SupernodeAddrs are the surviving candidate streaming addresses.
-	SupernodeAddrs []string
+	// Candidates are the surviving candidate supernodes, ranked best
+	// first.
+	Candidates []CandidateInfo
 	// CloudStreamAddr is the cloud's own fallback streaming endpoint.
 	CloudStreamAddr string
 }
@@ -633,9 +678,9 @@ type CandidateUpdate struct {
 // Marshal encodes the message.
 func (m CandidateUpdate) Marshal() []byte {
 	w := &writer{}
-	w.u16(uint16(len(m.SupernodeAddrs)))
-	for _, a := range m.SupernodeAddrs {
-		w.str(a)
+	w.u16(uint16(len(m.Candidates)))
+	for _, c := range m.Candidates {
+		putCandidateInfo(w, c)
 	}
 	w.str(m.CloudStreamAddr)
 	return w.buf
@@ -647,9 +692,57 @@ func UnmarshalCandidateUpdate(buf []byte) (CandidateUpdate, error) {
 	var m CandidateUpdate
 	n := int(r.u16())
 	for i := 0; i < n && r.err == nil; i++ {
-		m.SupernodeAddrs = append(m.SupernodeAddrs, r.str())
+		m.Candidates = append(m.Candidates, getCandidateInfo(r))
 	}
 	m.CloudStreamAddr = r.str()
+	return m, r.finish()
+}
+
+// QoEReport is a player's rating of a supernode, sent to the cloud on the
+// control connection. Healthy sessions report periodically with high
+// ratings; a stall or a forced fallback reports immediately with rating 0,
+// demoting the supernode in every player's next ladder.
+type QoEReport struct {
+	// PlayerID identifies the reporting player (must match the control
+	// connection's admitted player).
+	PlayerID int32
+	// Addr is the stream address of the supernode being rated.
+	Addr string
+	// Rating is the session-quality rating in [0, 1] (playback
+	// continuity, per §3.2's rating rule).
+	Rating float64
+	// Stalled marks a report triggered by a stall/migration rather than a
+	// periodic checkpoint.
+	Stalled bool
+	// Fallback marks that the failure drove the player onto the cloud's
+	// own stream — the expensive outcome the fog tier exists to avoid.
+	Fallback bool
+}
+
+// Marshal encodes the message.
+func (m QoEReport) Marshal() []byte {
+	w := &writer{}
+	w.i32(m.PlayerID)
+	w.str(m.Addr)
+	w.f64(m.Rating)
+	var flags uint8
+	if m.Stalled {
+		flags |= 1
+	}
+	if m.Fallback {
+		flags |= 2
+	}
+	w.u8(flags)
+	return w.buf
+}
+
+// UnmarshalQoEReport decodes the message.
+func UnmarshalQoEReport(buf []byte) (QoEReport, error) {
+	r := &reader{buf: buf}
+	m := QoEReport{PlayerID: r.i32(), Addr: r.str(), Rating: r.f64()}
+	flags := r.u8()
+	m.Stalled = flags&1 != 0
+	m.Fallback = flags&2 != 0
 	return m, r.finish()
 }
 

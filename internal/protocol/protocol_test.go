@@ -75,7 +75,7 @@ func TestFramingTruncatedStream(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for typ := MsgSupernodeHello; typ <= MsgCandidateUpdate; typ++ {
+	for typ := MsgSupernodeHello; typ <= MsgQoEReport; typ++ {
 		if typ.String() == "unknown" {
 			t.Errorf("type %d unnamed", typ)
 		}
@@ -118,12 +118,17 @@ func TestPlayerJoinRoundTrip(t *testing.T) {
 }
 
 func TestJoinReplyRoundTrip(t *testing.T) {
-	m := JoinReply{OK: true, SupernodeAddrs: []string{"a:1", "b:2", "c:3"}}
+	m := JoinReply{OK: true, Candidates: []CandidateInfo{
+		{Addr: "a:1", Load: 2, Capacity: 4, MeasuredRTTMs: -1, Score: 0.9},
+		{Addr: "b:2", Load: 0, Capacity: 8, MeasuredRTTMs: 12.5, Score: 0.5},
+		{Addr: "c:3"},
+	}}
 	got, err := UnmarshalJoinReply(m.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.OK || len(got.SupernodeAddrs) != 3 || got.SupernodeAddrs[1] != "b:2" {
+	if !got.OK || len(got.Candidates) != 3 || got.Candidates[1] != m.Candidates[1] ||
+		got.Candidates[0].Score != 0.9 || got.Candidates[0].MeasuredRTTMs != -1 {
 		t.Errorf("round trip: %+v", got)
 	}
 	deny := JoinReply{OK: false, Reason: "full"}
@@ -234,22 +239,38 @@ func TestHeartbeatRoundTrip(t *testing.T) {
 
 func TestCandidateUpdateRoundTrip(t *testing.T) {
 	m := CandidateUpdate{
-		SupernodeAddrs:  []string{"10.0.0.1:7100", "10.0.0.2:7100"},
+		Candidates: []CandidateInfo{
+			{Addr: "10.0.0.1:7100", Load: 3, Capacity: 4, MeasuredRTTMs: -1, Score: 0.8},
+			{Addr: "10.0.0.2:7100", Capacity: 2, MeasuredRTTMs: -1, Score: 0.5},
+		},
 		CloudStreamAddr: "10.0.0.9:7000",
 	}
 	got, err := UnmarshalCandidateUpdate(m.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.SupernodeAddrs) != 2 || got.SupernodeAddrs[1] != "10.0.0.2:7100" ||
+	if len(got.Candidates) != 2 || got.Candidates[1] != m.Candidates[1] ||
 		got.CloudStreamAddr != m.CloudStreamAddr {
 		t.Errorf("round trip: %+v", got)
 	}
 	// An empty ladder (all supernodes gone) still round-trips.
 	empty := CandidateUpdate{CloudStreamAddr: "c:1"}
 	got, err = UnmarshalCandidateUpdate(empty.Marshal())
-	if err != nil || len(got.SupernodeAddrs) != 0 || got.CloudStreamAddr != "c:1" {
+	if err != nil || len(got.Candidates) != 0 || got.CloudStreamAddr != "c:1" {
 		t.Errorf("empty round trip: %+v, %v", got, err)
+	}
+}
+
+func TestQoEReportRoundTrip(t *testing.T) {
+	for _, m := range []QoEReport{
+		{PlayerID: 7, Addr: "10.0.0.1:7100", Rating: 1},
+		{PlayerID: -2, Addr: "f:1", Rating: 0, Stalled: true},
+		{PlayerID: 9, Addr: "f:2", Rating: 0.25, Stalled: true, Fallback: true},
+	} {
+		got, err := UnmarshalQoEReport(m.Marshal())
+		if err != nil || got != m {
+			t.Errorf("round trip: %+v -> %+v, %v", m, got, err)
+		}
 	}
 }
 

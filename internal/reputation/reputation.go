@@ -12,11 +12,16 @@
 //
 // where r_k is the k-th rating, d_k its age in days, and lambda in (0, 1)
 // the aging factor, so recent interactions dominate.
+//
+// Book and GlobalBook are safe for concurrent use: the simulator drives
+// them single-threaded, but the fognet prototype's cloud rates supernodes
+// from concurrent player connections.
 package reputation
 
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Rating is one playback-continuity rating a player gave a supernode.
@@ -30,6 +35,7 @@ type Rating struct {
 // Book is one player's private reputation ledger over supernodes.
 // The zero value is not usable; create with NewBook.
 type Book struct {
+	mu      sync.RWMutex
 	lambda  float64
 	ratings map[int][]Rating // supernode ID -> ratings, oldest first
 }
@@ -53,20 +59,23 @@ func (b *Book) Lambda() float64 { return b.lambda }
 // Rate records a rating of the given supernode. Values are clamped to
 // [0, 1].
 func (b *Book) Rate(supernodeID int, value float64, day int) {
-	if value < 0 {
-		value = 0
-	}
-	if value > 1 {
-		value = 1
-	}
-	b.ratings[supernodeID] = append(b.ratings[supernodeID], Rating{Value: value, Day: day})
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ratings[supernodeID] = append(b.ratings[supernodeID], Rating{Value: clamp01(value), Day: day})
 }
 
-// Score returns the overall reputation score s_ij of the supernode as seen
-// from this book on the given day (Eq. 7). Supernodes with no prior
-// interactions score 0, per the paper.
-func (b *Book) Score(supernodeID int, today int) float64 {
-	rs := b.ratings[supernodeID]
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// score computes Eq. 7 over a rating list.
+func score(rs []Rating, lambda float64, today int) float64 {
 	if len(rs) == 0 {
 		return 0
 	}
@@ -76,19 +85,32 @@ func (b *Book) Score(supernodeID int, today int) float64 {
 		if age < 0 {
 			age = 0
 		}
-		sum += r.Value * math.Pow(b.lambda, float64(age))
+		sum += r.Value * math.Pow(lambda, float64(age))
 	}
 	return sum / float64(len(rs))
 }
 
+// Score returns the overall reputation score s_ij of the supernode as seen
+// from this book on the given day (Eq. 7). Supernodes with no prior
+// interactions score 0, per the paper.
+func (b *Book) Score(supernodeID int, today int) float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return score(b.ratings[supernodeID], b.lambda, today)
+}
+
 // NumRatings returns how many ratings this book holds for the supernode.
 func (b *Book) NumRatings(supernodeID int) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.ratings[supernodeID])
 }
 
 // Forget drops all ratings of the given supernode (e.g. after it
 // permanently leaves the system).
 func (b *Book) Forget(supernodeID int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	delete(b.ratings, supernodeID)
 }
 
@@ -96,6 +118,8 @@ func (b *Book) Forget(supernodeID int) {
 // for long-lived players. Ratings aged beyond the horizon contribute
 // lambda^age ~ 0 anyway.
 func (b *Book) Prune(today, maxAgeDays int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for id, rs := range b.ratings {
 		kept := rs[:0]
 		for _, r := range rs {
@@ -120,10 +144,12 @@ func (b *Book) Ranked(candidates []int, today int) []int {
 		id    int
 		score float64
 	}
+	b.mu.RLock()
 	ss := make([]scored, len(candidates))
 	for i, id := range candidates {
-		ss[i] = scored{id: id, score: b.Score(id, today)}
+		ss[i] = scored{id: id, score: score(b.ratings[id], b.lambda, today)}
 	}
+	b.mu.RUnlock()
 	sort.Slice(ss, func(i, j int) bool {
 		if ss[i].score != ss[j].score {
 			return ss[i].score > ss[j].score
@@ -139,8 +165,10 @@ func (b *Book) Ranked(candidates []int, today int) []int {
 
 // GlobalBook aggregates ratings from ALL players, the strawman scheme the
 // paper rejects as vulnerable to sybil attacks and collusion. It is kept as
-// an ablation baseline (see DESIGN.md §6).
+// an ablation baseline (see DESIGN.md §6) and reused by the fognet cloud,
+// whose ladder ranking aggregates every player's QoE reports by design.
 type GlobalBook struct {
+	mu      sync.RWMutex
 	lambda  float64
 	ratings map[int][]Rating
 }
@@ -156,28 +184,21 @@ func NewGlobalBook(lambda float64) *GlobalBook {
 
 // Rate records a rating of a supernode by any player.
 func (g *GlobalBook) Rate(supernodeID int, value float64, day int) {
-	if value < 0 {
-		value = 0
-	}
-	if value > 1 {
-		value = 1
-	}
-	g.ratings[supernodeID] = append(g.ratings[supernodeID], Rating{Value: value, Day: day})
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ratings[supernodeID] = append(g.ratings[supernodeID], Rating{Value: clamp01(value), Day: day})
 }
 
 // Score returns the aggregate age-weighted score of the supernode.
 func (g *GlobalBook) Score(supernodeID int, today int) float64 {
-	rs := g.ratings[supernodeID]
-	if len(rs) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, r := range rs {
-		age := today - r.Day
-		if age < 0 {
-			age = 0
-		}
-		sum += r.Value * math.Pow(g.lambda, float64(age))
-	}
-	return sum / float64(len(rs))
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return score(g.ratings[supernodeID], g.lambda, today)
+}
+
+// NumRatings returns how many ratings the book holds for the supernode.
+func (g *GlobalBook) NumRatings(supernodeID int) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.ratings[supernodeID])
 }

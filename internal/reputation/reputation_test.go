@@ -2,6 +2,7 @@ package reputation
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -184,5 +185,37 @@ func TestGlobalBook(t *testing.T) {
 	}
 	if NewGlobalBook(5).Score(9, 3) != 0 {
 		t.Error("lambda clamp broken for global book")
+	}
+}
+
+func TestBooksConcurrencySafe(t *testing.T) {
+	// The fognet cloud rates supernodes from concurrent player connections
+	// while ranking ladders; run under -race.
+	b := NewBook(0.9)
+	g := NewGlobalBook(0.9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := (w*200 + i) % 16
+				b.Rate(id, float64(i%10)/10, i%7)
+				g.Rate(id, float64(i%10)/10, i%7)
+				_ = b.Score(id, i%7)
+				_ = g.Score(id, i%7)
+				_ = b.NumRatings(id)
+				_ = g.NumRatings(id)
+				if i%50 == 0 {
+					b.Prune(i%7, 3)
+					_ = b.Ranked([]int{0, 1, 2, 3}, i%7)
+					b.Forget(15)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.NumRatings(0) == 0 || g.NumRatings(0) == 0 {
+		t.Error("concurrent ratings lost")
 	}
 }
