@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench chaos
+.PHONY: all build vet test race check bench bench-json chaos
 
 all: check
 
@@ -28,6 +28,21 @@ check: build vet test race
 # package is excluded — its benchmarks are the figure-generation harness.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/...
+
+# Wire-path benchmark regression file: runs the hot-path benchmarks (the
+# zero-allocation encoders/readers, the tick fan-out and frame-stream
+# loops, and the §3.2 selection paths they feed) with -benchmem at a fixed
+# iteration count, and converts the output to BENCH_wirepath.json via
+# cmd/benchjson. The file is committed so reviewers can diff allocs/op
+# across PRs, and CI uploads it as an artifact. Absolute ns/op varies by
+# machine; allocs/op and B/op are the stable regression signal.
+BENCH_WIREPATH = BenchmarkUpdateBatch|BenchmarkWriteMessage|BenchmarkAppendFrame|BenchmarkReadMessage|BenchmarkFrameReader|BenchmarkTickFanout|BenchmarkFrameStream|BenchmarkEncode|BenchmarkDecode|BenchmarkRender|BenchmarkSelectorSelect|BenchmarkCandidateLadder|BenchmarkRank
+
+bench-json:
+	$(GO) test -bench='$(BENCH_WIREPATH)' -benchmem -benchtime=2000x -run='^$$' \
+		./internal/protocol ./internal/fognet ./internal/videocodec \
+		./internal/render ./internal/fog ./internal/selection \
+		| $(GO) run ./cmd/benchjson -o BENCH_wirepath.json
 
 chaos:
 	$(GO) run ./examples/chaos

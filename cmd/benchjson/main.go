@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document, so benchmark runs can be committed, diffed,
+// and uploaded as CI artifacts. It keeps only what regression tracking
+// needs — name, iterations, ns/op, B/op, allocs/op — plus the run's
+// environment lines (goos/goarch/cpu/pkg).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/... | benchjson -o BENCH.json
+//
+// Lines that are not benchmark results are ignored, so the tool can sit at
+// the end of any `go test` pipeline. It exits non-zero when the input
+// contains no benchmark lines at all — a guard against silently committing
+// an empty file when the bench regex matched nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the nearest
+	// preceding "pkg:" line; empty if none was seen).
+	Package string `json:"package,omitempty"`
+	// Iterations is the b.N the timing was measured over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	// Goos, Goarch, CPU describe the machine the run happened on.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Document{Benchmarks: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		r, ok := parseBenchLine(line, pkg)
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("benchjson: read stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatalf("benchjson: no benchmark lines found in input")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("benchjson: %v", err)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkAppendFrame-8   824061   1457 ns/op   0 B/op   0 allocs/op
+//
+// reporting ok=false for anything that does not look like one.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, perr := strconv.Atoi(name[i+1:]); perr == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	r := Result{Name: name, Package: pkg, Iterations: iters}
+	sawNs := false
+	// The rest of the line is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, verr := strconv.ParseFloat(fields[i], 64)
+		if verr != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, sawNs
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

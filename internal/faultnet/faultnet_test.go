@@ -5,6 +5,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"cloudfog/internal/protocol"
 )
 
 // pipe returns two ends of a real TCP connection on loopback, with the
@@ -286,5 +288,49 @@ func TestCloseWakesBlockedOperations(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("close did not wake blocked read")
+	}
+}
+
+// TestCoalescedWritePassesThroughShaping covers the cloud's coalescing
+// writer: several protocol frames appended into one buffer and flushed as
+// a single Write must cross an injected link (latency + bandwidth shaping)
+// intact, and the peer's FrameReader must recover every frame. The shaper
+// sees one write whose cost is the sum of the frames — batching changes
+// syscall count, not the modeled bits on the wire.
+func TestCoalescedWritePassesThroughShaping(t *testing.T) {
+	in := NewInjector(Profile{Seed: 11, AddedLatency: 5 * time.Millisecond, BandwidthKbps: 10000})
+	w, peer := pipe(t, in)
+
+	payloads := [][]byte{
+		[]byte("tick-100"),
+		[]byte("tick-101 with a longer delta payload"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1500),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		var err error
+		buf, err = protocol.AppendFrame(buf, protocol.MsgUpdateBatch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := protocol.NewFrameReader(peer)
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i, want := range payloads {
+		typ, got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != protocol.MsgUpdateBatch || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: type %v payload %d bytes, want %d", i, typ, len(got), len(want))
+		}
+	}
+	if s := in.Stats(); s.Writes != 1 {
+		t.Errorf("coalesced flush counted as %d writes, want 1", s.Writes)
 	}
 }

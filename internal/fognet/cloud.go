@@ -29,6 +29,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudfog/internal/game"
@@ -112,13 +113,19 @@ type CloudServer struct {
 	supernodes    map[uint32]*supernodeConn
 	nextSNID      uint32
 	players       map[int32]*playerConn
-	updateBits    int64
 	ticks         int64
 	fallbackBits  int64
 	fallbackCount int64
 	fallbackLive  int
 	hbSeq         uint32
 	resil         CloudResilience
+
+	// Hot-path counters live outside mu: the per-supernode writer
+	// goroutines and the non-blocking enqueue bump them on every tick
+	// fan-out, and taking the server mutex there would make the writers
+	// contend with the tick loop itself.
+	updateBits atomic.Int64
+	queueDrops atomic.Int64
 
 	// Live §3.2 selection control plane: QoE reports from players feed
 	// book, and candidateInfos ranks the ladder with ranker. addrIDs maps
@@ -155,9 +162,48 @@ type CloudResilience struct {
 	QoEReports int64
 }
 
+// sharedPayload is a reference-counted pooled payload fanned out to many
+// per-supernode send queues at once (the tick's update batch, the
+// heartbeat ping). The encode buffer returns to the protocol pool only
+// when the last writer has flushed it — the pool-lifecycle rule of
+// DESIGN.md §10. Refs lost to a dying writer (messages still queued when
+// the connection closes) simply strand the buffer for the GC; the pool
+// never sees a buffer that anyone might still read.
+type sharedPayload struct {
+	buf  *protocol.Buffer
+	refs atomic.Int32
+}
+
+var sharedPayloadPool = sync.Pool{New: func() any { return &sharedPayload{} }}
+
+// newSharedPayload takes a pooled buffer and arms it for refs readers.
+func newSharedPayload(refs int) *sharedPayload {
+	sp := sharedPayloadPool.Get().(*sharedPayload)
+	sp.buf = protocol.GetBuffer()
+	sp.refs.Store(int32(refs))
+	return sp
+}
+
+// release drops one reference; the last one returns both the buffer and
+// the wrapper to their pools.
+func (sp *sharedPayload) release() {
+	if sp == nil {
+		return
+	}
+	if sp.refs.Add(-1) == 0 {
+		protocol.PutBuffer(sp.buf)
+		sp.buf = nil
+		sharedPayloadPool.Put(sp)
+	}
+}
+
+// outMsg is one queued message for a supernode writer. payload aliases
+// shared.buf.B when shared is non-nil; the writer must release(shared)
+// only after the payload has been flushed (or dropped).
 type outMsg struct {
 	typ     protocol.MsgType
 	payload []byte
+	shared  *sharedPayload
 }
 
 type supernodeConn struct {
@@ -301,16 +347,18 @@ type CloudStats struct {
 func (s *CloudServer) Stats() CloudStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	resil := s.resil
+	resil.SendQueueDrops = s.queueDrops.Load()
 	return CloudStats{
 		Ticks:           s.ticks,
-		UpdateBits:      s.updateBits,
+		UpdateBits:      s.updateBits.Load(),
 		Supernodes:      len(s.supernodes),
 		Players:         len(s.players),
 		Entities:        s.world.NumEntities(),
 		FallbackBits:    s.fallbackBits,
 		FallbackPlayers: s.fallbackLive,
 		FallbackFrames:  s.fallbackCount,
-		Resilience:      s.resil,
+		Resilience:      resil,
 	}
 }
 
@@ -360,50 +408,86 @@ func (s *CloudServer) tickOnce() {
 	if len(deltas) == 0 || len(sns) == 0 {
 		return
 	}
+	// Encode the batch once into a pooled, reference-counted buffer shared
+	// by every supernode queue: one encode per tick regardless of fan-out
+	// width, and the buffer returns to the pool after the last flush.
 	batch := protocol.UpdateBatch{Tick: tick, Deltas: deltas}
-	payload := batch.Marshal()
+	sp := newSharedPayload(len(sns))
+	sp.buf.B = batch.AppendTo(sp.buf.B[:0])
 	for _, sn := range sns {
 		// Enqueue only: the per-supernode writer goroutine does the
 		// blocking work, so a stalled supernode can never stall this
 		// fan-out.
-		s.enqueue(sn, outMsg{protocol.MsgUpdateBatch, payload})
+		s.enqueue(sn, outMsg{typ: protocol.MsgUpdateBatch, payload: sp.buf.B, shared: sp})
 	}
 }
 
 // enqueue offers a message to the supernode's bounded send queue without
-// ever blocking; full queues drop (and count) the message.
+// ever blocking; full queues drop (and count) the message, releasing its
+// shared-payload reference.
 func (s *CloudServer) enqueue(sn *supernodeConn, m outMsg) bool {
 	select {
 	case sn.sendQ <- m:
 		return true
 	default:
-		s.mu.Lock()
-		s.resil.SendQueueDrops++
-		s.mu.Unlock()
+		m.shared.release()
+		s.queueDrops.Add(1)
 		return false
 	}
 }
 
-// snWriter is the single writer for one supernode connection. Every write
-// carries a deadline; the first failure closes the connection, which the
-// read loop observes and unregisters.
+// snWriter is the single writer for one supernode connection, and it
+// coalesces: when it wakes it drains everything queued, appends each
+// message's frame into one pooled buffer, sets one write deadline, and
+// flushes with a single Write — a supernode that fell a few messages
+// behind costs one syscall to catch up, not one per message. The first
+// failure closes the connection, which the read loop observes and
+// unregisters.
 func (s *CloudServer) snWriter(sn *supernodeConn) {
 	defer s.wg.Done()
+	var pending []outMsg // reused drain list
 	for {
 		select {
 		case <-sn.done:
 			return
 		case m := <-sn.sendQ:
-			sn.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if err := protocol.WriteMessage(sn.conn, m.typ, m.payload); err != nil {
+			pending = append(pending[:0], m)
+		drain:
+			for {
+				select {
+				case m2 := <-sn.sendQ:
+					pending = append(pending, m2)
+				default:
+					break drain
+				}
+			}
+			buf := protocol.GetBuffer()
+			var batchBits int64
+			var err error
+			for _, m := range pending {
+				if buf.B, err = protocol.AppendFrame(buf.B, m.typ, m.payload); err != nil {
+					break
+				}
+				if m.typ == protocol.MsgUpdateBatch {
+					batchBits += int64(len(m.payload)+protocol.HeaderLen) * 8
+				}
+			}
+			if err == nil {
+				sn.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				_, err = sn.conn.Write(buf.B)
+			}
+			// Flush (or failure) done: drop the shared-payload references,
+			// then the scratch buffer.
+			for i := range pending {
+				pending[i].shared.release()
+				pending[i] = outMsg{}
+			}
+			protocol.PutBuffer(buf)
+			if err != nil {
 				sn.conn.Close()
 				return
 			}
-			if m.typ == protocol.MsgUpdateBatch {
-				s.mu.Lock()
-				s.updateBits += int64(len(m.payload)+5) * 8
-				s.mu.Unlock()
-			}
+			s.updateBits.Add(batchBits)
 		}
 	}
 }
@@ -441,9 +525,12 @@ func (s *CloudServer) heartbeatOnce() {
 	s.resil.HeartbeatsSent += int64(len(ping))
 	s.mu.Unlock()
 
-	payload := protocol.Heartbeat{Seq: seq}.Marshal()
-	for _, sn := range ping {
-		s.enqueue(sn, outMsg{protocol.MsgHeartbeat, payload})
+	if len(ping) > 0 {
+		sp := newSharedPayload(len(ping))
+		sp.buf.B = protocol.Heartbeat{Seq: seq}.AppendTo(sp.buf.B[:0])
+		for _, sn := range ping {
+			s.enqueue(sn, outMsg{typ: protocol.MsgHeartbeat, payload: sp.buf.B, shared: sp})
+		}
 	}
 	for _, sn := range evict {
 		s.unregisterSupernode(sn, true)
@@ -588,12 +675,19 @@ func (s *CloudServer) broadcastCandidates() {
 		players = append(players, p)
 	}
 	s.mu.Unlock()
-	payload := update.Marshal()
+	// One pooled buffer holds the framed update for every player; the
+	// writes are synchronous, so it goes back to the pool after the loop.
+	buf := protocol.GetBuffer()
+	defer protocol.PutBuffer(buf)
+	var err error
+	if buf.B, err = protocol.AppendMessage(buf.B[:0], protocol.MsgCandidateUpdate, &update); err != nil {
+		return
+	}
 	var sent int64
 	for _, p := range players {
 		p.sendMu.Lock()
 		p.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		err := protocol.WriteMessage(p.conn, protocol.MsgCandidateUpdate, payload)
+		_, err := p.conn.Write(buf.B)
 		p.conn.SetWriteDeadline(time.Time{})
 		p.sendMu.Unlock()
 		if err == nil {
@@ -717,9 +811,12 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 	go s.snWriter(sn)
 
 	// Read loop: heartbeat acks flow back here; anything else is ignored.
-	// A read error means the supernode left or was evicted.
+	// A read error means the supernode left or was evicted. The reader
+	// reuses one buffer per connection; acks are decoded before the next
+	// read, so nothing aliases it across iterations.
+	fr := protocol.NewFrameReader(conn)
 	for {
-		typ, payload, rerr := protocol.ReadMessage(conn)
+		typ, payload, rerr := fr.Next()
 		if rerr != nil {
 			break
 		}
@@ -771,9 +868,12 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 		return
 	}
 
-	// Action loop: the player streams inputs until it leaves.
+	// Action loop: the player streams inputs until it leaves. The reader
+	// reuses one buffer per connection; every message is decoded into
+	// owned values before the next read.
+	fr := protocol.NewFrameReader(conn)
 	for {
-		typ, payload, err := protocol.ReadMessage(conn)
+		typ, payload, err := fr.Next()
 		if err != nil {
 			break
 		}

@@ -250,49 +250,67 @@ func (f *FogNode) Stats() FogStats {
 // updateLoop applies the cloud's update stream to the replica, answers
 // heartbeats, and — when the connection dies — reconnects with jittered
 // exponential backoff and resyncs the replica.
+//
+// This is the fog side of the Λ stream, so it is allocation-free in steady
+// state: the frame reader reuses one receive buffer per connection, the
+// update batch reuses its delta slice across ticks (the replica copies
+// what it keeps), and heartbeat acks are framed into a reused scratch
+// buffer and flushed with a single Write.
 func (f *FogNode) updateLoop() {
 	defer f.wg.Done()
+	var batch protocol.UpdateBatch
+	var ackBuf []byte
 	for {
 		f.mu.Lock()
 		conn := f.cloud
 		f.mu.Unlock()
-		typ, payload, err := protocol.ReadMessage(conn)
-		if err != nil {
-			if !f.reconnect() {
-				return // closing
+		// One reader per connection: reconnecting swaps the conn, so the
+		// reader (and its buffered stream position) must be rebuilt.
+		fr := protocol.NewFrameReader(conn)
+	readLoop:
+		for {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				break readLoop
 			}
-			continue
+			switch typ {
+			case protocol.MsgUpdateBatch:
+				if berr := protocol.DecodeUpdateBatch(payload, &batch); berr != nil {
+					continue
+				}
+				f.mu.Lock()
+				f.replica.Apply(batch.Tick, batch.Deltas)
+				f.mu.Unlock()
+			case protocol.MsgHeartbeat:
+				hb, herr := protocol.UnmarshalHeartbeat(payload)
+				if herr != nil {
+					continue
+				}
+				f.mu.Lock()
+				ack := protocol.HeartbeatAck{
+					Seq:         hb.Seq,
+					ReplicaTick: f.replica.Tick(),
+					Attached:    uint16(len(f.attached)),
+				}
+				f.mu.Unlock()
+				var aerr error
+				ackBuf, aerr = protocol.AppendMessage(ackBuf[:0], protocol.MsgHeartbeatAck, &ack)
+				if aerr != nil {
+					continue
+				}
+				conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+				_, werr := conn.Write(ackBuf)
+				conn.SetWriteDeadline(time.Time{})
+				if werr != nil {
+					continue // the read side will observe the dead conn
+				}
+				f.mu.Lock()
+				f.resil.HeartbeatAcks++
+				f.mu.Unlock()
+			}
 		}
-		switch typ {
-		case protocol.MsgUpdateBatch:
-			batch, berr := protocol.UnmarshalUpdateBatch(payload)
-			if berr != nil {
-				continue
-			}
-			f.mu.Lock()
-			f.replica.Apply(batch.Tick, batch.Deltas)
-			f.mu.Unlock()
-		case protocol.MsgHeartbeat:
-			hb, herr := protocol.UnmarshalHeartbeat(payload)
-			if herr != nil {
-				continue
-			}
-			f.mu.Lock()
-			ack := protocol.HeartbeatAck{
-				Seq:         hb.Seq,
-				ReplicaTick: f.replica.Tick(),
-				Attached:    uint16(len(f.attached)),
-			}
-			f.mu.Unlock()
-			conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
-			werr := protocol.WriteMessage(conn, protocol.MsgHeartbeatAck, ack.Marshal())
-			conn.SetWriteDeadline(time.Time{})
-			if werr != nil {
-				continue // the read side will observe the dead conn
-			}
-			f.mu.Lock()
-			f.resil.HeartbeatAcks++
-			f.mu.Unlock()
+		if !f.reconnect() {
+			return // closing
 		}
 	}
 }

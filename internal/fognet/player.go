@@ -9,6 +9,7 @@ import (
 	"cloudfog/internal/adaptation"
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
+	"cloudfog/internal/render"
 	"cloudfog/internal/rng"
 	"cloudfog/internal/selection"
 	"cloudfog/internal/videocodec"
@@ -434,6 +435,7 @@ func (p *PlayerClient) reportQoE(addr string, rating float64, stalled, fallback 
 // migrate sends the negative half.
 func (p *PlayerClient) actionLoop(r *rng.Rand) {
 	defer p.wg.Done()
+	var actBuf []byte
 	ticker := time.NewTicker(p.cfg.ActionInterval)
 	defer ticker.Stop()
 	var qoeC <-chan time.Time
@@ -463,9 +465,16 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 				Player: int(p.cfg.PlayerID), Kind: virtualworld.ActMove,
 				TargetX: tx, TargetY: ty,
 			}}
+			// Frame into the loop-owned scratch buffer and flush with a
+			// single Write: the 10 Hz input stream allocates nothing.
+			var aerr error
+			actBuf, aerr = protocol.AppendMessage(actBuf[:0], protocol.MsgAction, &msg)
+			if aerr != nil {
+				return
+			}
 			p.cloudMu.Lock()
 			p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-			err := protocol.WriteMessage(p.cloud, protocol.MsgAction, msg.Marshal())
+			_, err := p.cloud.Write(actBuf)
 			p.cloudMu.Unlock()
 			if err != nil {
 				return
@@ -478,8 +487,9 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 // today, candidate-ladder refreshes when the supernode set changes.
 func (p *PlayerClient) cloudLoop() {
 	defer p.wg.Done()
+	fr := protocol.NewFrameReader(p.cloud)
 	for {
-		typ, payload, err := protocol.ReadMessage(p.cloud)
+		typ, payload, err := fr.Next()
 		if err != nil {
 			return // cloud gone or Close()
 		}
@@ -505,18 +515,28 @@ func (p *PlayerClient) cloudLoop() {
 // model, and level switches go back to the supernode as RateChange. Every
 // read carries the stall-detector deadline; a silent or broken stream
 // triggers the failover ladder.
+//
+// The 30 fps receive path is the thin client's hot loop, so it reuses
+// everything: the frame reader's connection buffer, the EncodedFrame
+// whose Data aliases that buffer (consumed before the next read), the
+// decoder's internal reference frame, and the output frame whose pixels
+// alias decoder memory. Steady state allocates nothing per frame.
 func (p *PlayerClient) videoLoop() {
 	defer p.wg.Done()
 	var dec videocodec.Decoder
+	var ef videocodec.EncodedFrame
+	var frame render.Frame
+	var rcBuf []byte
 	start := time.Now()
 	var windowBits int64
 	windowStart := start
 	p.mu.Lock()
 	conn := p.video
 	p.mu.Unlock()
+	fr := protocol.NewFrameReader(conn)
 	for {
 		conn.SetReadDeadline(time.Now().Add(p.cfg.VideoReadTimeout))
-		typ, payload, err := protocol.ReadMessage(conn)
+		typ, payload, err := fr.Next()
 		if err != nil {
 			// The serving supernode failed, left, or went silent:
 			// migrate down the ladder (§3.2.2). No game state
@@ -527,21 +547,22 @@ func (p *PlayerClient) videoLoop() {
 				return
 			}
 			conn = next
+			// New connection, new stream position: rebuild the reader.
+			fr = protocol.NewFrameReader(conn)
 			continue
 		}
 		if typ != protocol.MsgVideoFrame {
 			continue
 		}
-		ef, err := videocodec.UnmarshalFrame(payload)
-		if err != nil {
+		if uerr := videocodec.UnmarshalFrameInto(payload, &ef); uerr != nil {
 			p.mu.Lock()
 			p.decodeErrs++
 			p.mu.Unlock()
 			continue
 		}
-		frame, err := dec.Decode(ef)
+		derr := dec.DecodeInto(&ef, &frame)
 		p.mu.Lock()
-		if err != nil {
+		if derr != nil {
 			p.decodeErrs++
 		} else {
 			p.frames++
@@ -562,8 +583,13 @@ func (p *PlayerClient) videoLoop() {
 				windowBits, windowStart = 0, time.Now()
 				if decision != adaptation.Hold {
 					rc := protocol.RateChange{QualityLevel: uint8(p.ctrl.Level())}
+					var rerr error
+					rcBuf, rerr = protocol.AppendMessage(rcBuf[:0], protocol.MsgRateChange, &rc)
+					if rerr != nil {
+						continue
+					}
 					conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-					werr := protocol.WriteMessage(conn, protocol.MsgRateChange, rc.Marshal())
+					_, werr := conn.Write(rcBuf)
 					conn.SetWriteDeadline(time.Time{})
 					if werr != nil {
 						continue // the next read will fail over

@@ -1,0 +1,8 @@
+//go:build race
+
+package fognet
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool intentionally randomizes caching to widen interleaving
+// coverage, so pooled paths allocate; allocation-count tests skip.
+const raceEnabled = true

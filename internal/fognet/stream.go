@@ -30,6 +30,14 @@ type streamCounters interface {
 // carries writeTimeout as a deadline, so a player that stops reading
 // cannot pin the session goroutine. The caller owns conn and the attach
 // handshake; wg tracks the internal reader goroutine.
+//
+// The 30 fps loop is the fog tier's hot path, so it is allocation-free in
+// steady state: the renderer rasterizes into one reused framebuffer, the
+// encoder compresses into reused scratch (EncodeInto), and the encoded
+// frame plus its 5-byte protocol header are appended into one pooled
+// buffer flushed with a single Write. The pooled buffer is returned only
+// after the session ends — per-frame it is simply truncated and refilled,
+// never handed to another goroutine.
 func runVideoSession(
 	conn net.Conn,
 	playerID int32,
@@ -51,8 +59,9 @@ func runVideoSession(
 	go func() {
 		defer wg.Done()
 		defer close(readDone)
+		fr := protocol.NewFrameReader(conn)
 		for {
-			typ, payload, err := protocol.ReadMessage(conn)
+			typ, payload, err := fr.Next()
 			if err != nil {
 				return
 			}
@@ -73,6 +82,10 @@ func runVideoSession(
 
 	renderer := render.NewRenderer(render.ResolutionForLevel(int(level)))
 	encoder := videocodec.NewEncoder(game.MustQuality(level).BitrateKbps)
+	frame := render.NewFrame(renderer.Resolution())
+	var ef videocodec.EncodedFrame
+	out := protocol.GetBuffer()
+	defer protocol.PutBuffer(out)
 	ticker := time.NewTicker(frameInterval)
 	defer ticker.Stop()
 	for {
@@ -89,12 +102,17 @@ func runVideoSession(
 			}
 		case <-ticker.C:
 			snap := source.currentSnapshot()
-			frame := renderer.Render(snap, render.ViewportFor(snap, int(playerID)))
-			ef := encoder.Encode(frame)
+			renderer.RenderInto(snap, render.ViewportFor(snap, int(playerID)), frame)
+			encoder.EncodeInto(frame, &ef)
+			var err error
+			out.B, err = protocol.AppendMessage(out.B[:0], protocol.MsgVideoFrame, &ef)
+			if err != nil {
+				return
+			}
 			if writeTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 			}
-			if protocol.WriteMessage(conn, protocol.MsgVideoFrame, ef.Marshal()) != nil {
+			if _, err := conn.Write(out.B); err != nil {
 				return
 			}
 			counters.addFrame(ef.SizeBits())

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"io"
 	"testing"
 
 	"cloudfog/internal/virtualworld"
@@ -41,4 +42,119 @@ func BenchmarkUpdateBatchUnmarshal(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkUpdateBatchAppendTo measures the append-style encode into a
+// warm buffer — the zero-allocation replacement for Marshal on the
+// cloud's per-tick path.
+func BenchmarkUpdateBatchAppendTo(b *testing.B) {
+	batch := benchBatch(100)
+	buf := make([]byte, 0, batch.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = batch.AppendTo(buf[:0])
+	}
+}
+
+// BenchmarkUpdateBatchDecodeInto measures the reusable decode — the
+// zero-allocation replacement for UnmarshalUpdateBatch on the supernode's
+// apply loop.
+func BenchmarkUpdateBatchDecodeInto(b *testing.B) {
+	payload := benchBatch(100).Marshal()
+	var m UpdateBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeUpdateBatch(payload, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteMessage is the legacy wire path — Marshal, then a framed
+// WriteMessage (two Write calls, fresh header and payload per message).
+// It is the baseline the append-path benchmarks below are measured
+// against.
+func BenchmarkWriteMessage(b *testing.B) {
+	batch := benchBatch(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMessage(io.Discard, MsgUpdateBatch, batch.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendFrame is the replacement wire path: encode the message
+// and its frame header into one reused buffer and flush with a single
+// Write. Steady state must be 0 allocs/op.
+func BenchmarkAppendFrame(b *testing.B) {
+	batch := benchBatch(100)
+	buf := make([]byte, 0, batch.EncodedSize()+HeaderLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendMessage(buf[:0], MsgUpdateBatch, &batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Discard.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadMessage is the legacy receive path: a fresh header and
+// payload allocation per message.
+func BenchmarkReadMessage(b *testing.B) {
+	stream, err := AppendFrame(nil, MsgUpdateBatch, benchBatch(100).Marshal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs := &repeatStream{data: stream}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadMessage(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameReader is the replacement receive path: one growable
+// buffer per connection, reused across messages. Steady state must be
+// 0 allocs/op.
+func BenchmarkFrameReader(b *testing.B) {
+	stream, err := AppendFrame(nil, MsgUpdateBatch, benchBatch(100).Marshal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr := NewFrameReader(&repeatStream{data: stream})
+	if _, _, err := fr.Next(); err != nil { // warm the buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fr.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatch(n int) UpdateBatch {
+	batch := UpdateBatch{Tick: 1}
+	for i := 0; i < n; i++ {
+		batch.Deltas = append(batch.Deltas, virtualworld.Delta{
+			ID: virtualworld.EntityID(i + 1),
+			Entity: virtualworld.Entity{
+				ID: virtualworld.EntityID(i + 1), Kind: virtualworld.KindAvatar,
+				Owner: i, X: float64(i), Y: float64(i), HP: 100, Version: uint32(i),
+			},
+		})
+	}
+	return batch
 }

@@ -133,7 +133,9 @@ var (
 	ErrTruncated = errors.New("protocol: truncated payload")
 )
 
-// WriteMessage frames and writes one message.
+// WriteMessage frames and writes one message. It costs two Write calls and
+// a header allocation per message; the hot paths use AppendFrame /
+// AppendMessage into a caller-owned buffer and flush once instead.
 func WriteMessage(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrTooLarge
@@ -477,8 +479,12 @@ type ActionMsg struct {
 }
 
 // Marshal encodes the message.
-func (m ActionMsg) Marshal() []byte {
-	w := &writer{}
+func (m ActionMsg) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m ActionMsg) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.i32(int32(m.Action.Player))
 	w.u8(uint8(m.Action.Kind))
 	w.f64(m.Action.TargetX)
@@ -511,8 +517,12 @@ type UpdateBatch struct {
 }
 
 // Marshal encodes the message.
-func (m UpdateBatch) Marshal() []byte {
-	w := &writer{}
+func (m UpdateBatch) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m UpdateBatch) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u64(m.Tick)
 	w.u32(uint32(len(m.Deltas)))
 	for _, d := range m.Deltas {
@@ -521,7 +531,7 @@ func (m UpdateBatch) Marshal() []byte {
 			w.u8(1)
 		} else {
 			w.u8(0)
-			putEntity(w, d.Entity)
+			putEntity(&w, d.Entity)
 		}
 	}
 	return w.buf
@@ -529,11 +539,21 @@ func (m UpdateBatch) Marshal() []byte {
 
 // UnmarshalUpdateBatch decodes the message.
 func UnmarshalUpdateBatch(buf []byte) (UpdateBatch, error) {
+	var m UpdateBatch
+	err := DecodeUpdateBatch(buf, &m)
+	return m, err
+}
+
+// DecodeUpdateBatch decodes into m, reusing m.Deltas' capacity — the
+// allocation-free decode for the supernode's per-tick apply loop. On error
+// m holds partially decoded data and must not be used.
+func DecodeUpdateBatch(buf []byte, m *UpdateBatch) error {
 	r := &reader{buf: buf}
-	m := UpdateBatch{Tick: r.u64()}
+	m.Tick = r.u64()
+	m.Deltas = m.Deltas[:0]
 	n := int(r.u32())
 	if n > MaxPayload/5 {
-		return m, ErrTooLarge
+		return ErrTooLarge
 	}
 	for i := 0; i < n && r.err == nil; i++ {
 		id := virtualworld.EntityID(r.u32())
@@ -543,11 +563,24 @@ func UnmarshalUpdateBatch(buf []byte) (UpdateBatch, error) {
 			m.Deltas = append(m.Deltas, virtualworld.Delta{ID: id, Entity: getEntity(r)})
 		}
 	}
-	return m, r.finish()
+	return r.finish()
 }
 
-// SizeBits returns the encoded size of the batch in bits (Λ accounting).
-func (m UpdateBatch) SizeBits() int { return len(m.Marshal()) * 8 }
+// SizeBits returns the encoded size of the batch in bits (Λ accounting),
+// computed arithmetically — no allocation, no throwaway Marshal.
+func (m UpdateBatch) SizeBits() int { return m.EncodedSize() * 8 }
+
+// EncodedSize returns the exact Marshal()ed length in bytes.
+func (m UpdateBatch) EncodedSize() int {
+	n := 8 + 4 // tick + delta count
+	for _, d := range m.Deltas {
+		n += 4 + 1 // entity ID + removed flag
+		if !d.Removed {
+			n += EntityWireBytes
+		}
+	}
+	return n
+}
 
 // PlayerAttach attaches a player's video session to a supernode.
 type PlayerAttach struct {
@@ -610,6 +643,10 @@ type RateChange struct {
 // Marshal encodes the message.
 func (m RateChange) Marshal() []byte { return []byte{m.QualityLevel} }
 
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m RateChange) AppendTo(buf []byte) []byte { return append(buf, m.QualityLevel) }
+
 // UnmarshalRateChange decodes the message.
 func UnmarshalRateChange(buf []byte) (RateChange, error) {
 	r := &reader{buf: buf}
@@ -624,8 +661,12 @@ type Heartbeat struct {
 }
 
 // Marshal encodes the message.
-func (m Heartbeat) Marshal() []byte {
-	w := &writer{}
+func (m Heartbeat) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m Heartbeat) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u32(m.Seq)
 	return w.buf
 }
@@ -649,8 +690,12 @@ type HeartbeatAck struct {
 }
 
 // Marshal encodes the message.
-func (m HeartbeatAck) Marshal() []byte {
-	w := &writer{}
+func (m HeartbeatAck) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m HeartbeatAck) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u32(m.Seq)
 	w.u64(m.ReplicaTick)
 	w.u16(m.Attached)
@@ -676,11 +721,15 @@ type CandidateUpdate struct {
 }
 
 // Marshal encodes the message.
-func (m CandidateUpdate) Marshal() []byte {
-	w := &writer{}
+func (m CandidateUpdate) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m CandidateUpdate) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.u16(uint16(len(m.Candidates)))
 	for _, c := range m.Candidates {
-		putCandidateInfo(w, c)
+		putCandidateInfo(&w, c)
 	}
 	w.str(m.CloudStreamAddr)
 	return w.buf
@@ -720,8 +769,12 @@ type QoEReport struct {
 }
 
 // Marshal encodes the message.
-func (m QoEReport) Marshal() []byte {
-	w := &writer{}
+func (m QoEReport) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m QoEReport) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
 	w.i32(m.PlayerID)
 	w.str(m.Addr)
 	w.f64(m.Rating)

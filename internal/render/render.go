@@ -111,6 +111,7 @@ func (f *Frame) String() string {
 // Renderer rasterizes world snapshots for one player's viewport.
 type Renderer struct {
 	res Resolution
+	vis []virtualworld.Entity // per-frame culling scratch
 }
 
 // NewRenderer creates a renderer at the given resolution.
@@ -148,9 +149,26 @@ func baseLuma(e virtualworld.Entity) byte {
 	}
 }
 
-// Render rasterizes the visible slice of the snapshot for the viewport.
+// Render rasterizes the visible slice of the snapshot for the viewport
+// into a fresh frame.
 func (r *Renderer) Render(s virtualworld.Snapshot, v virtualworld.Viewport) *Frame {
 	f := NewFrame(r.res)
+	r.RenderInto(s, v, f)
+	return f
+}
+
+// RenderInto rasterizes into an existing frame, reusing its pixel buffer:
+// zero allocations per frame in steady state. The frame is resized (and
+// its buffer regrown) only when the renderer's resolution differs — the
+// 30 fps fog streaming loop renders into the same frame every tick.
+func (r *Renderer) RenderInto(s virtualworld.Snapshot, v virtualworld.Viewport, f *Frame) {
+	if f.Width != r.res.Width || f.Height != r.res.Height || len(f.Pix) != r.res.Width*r.res.Height {
+		f.Width, f.Height = r.res.Width, r.res.Height
+		if cap(f.Pix) < f.Width*f.Height {
+			f.Pix = make([]byte, f.Width*f.Height)
+		}
+		f.Pix = f.Pix[:f.Width*f.Height]
+	}
 	f.Tick = s.Tick
 	// Background: a screen-space gradient in coarse bands. Keeping it
 	// static in screen coordinates mirrors what motion-compensated codecs
@@ -164,8 +182,10 @@ func (r *Renderer) Render(s virtualworld.Snapshot, v virtualworld.Viewport) *Fra
 			row[x] = band
 		}
 	}
-	// Entities, back-to-front by ID for determinism.
-	for _, e := range virtualworld.VisibleEntities(s, v) {
+	// Entities, back-to-front by ID for determinism. Culling reuses the
+	// renderer's scratch slice so the per-frame loop stays allocation-free.
+	r.vis = virtualworld.AppendVisibleEntities(r.vis[:0], s, v)
+	for _, e := range r.vis {
 		px := int((e.X - (v.CenterX - v.HalfWidth)) / (2 * v.HalfWidth) * float64(f.Width))
 		py := int((e.Y - (v.CenterY - v.HalfHeight)) / (2 * v.HalfHeight) * float64(f.Height))
 		luma := baseLuma(e)
@@ -179,7 +199,6 @@ func (r *Renderer) Render(s virtualworld.Snapshot, v virtualworld.Viewport) *Fra
 			}
 		}
 	}
-	return f
 }
 
 // ViewportFor derives a player's viewport from its avatar position in the

@@ -59,6 +59,8 @@ type Encoder struct {
 	TargetKbps float64
 
 	prev    []byte // previous DECODED (quantized) frame, for P references
+	cur     []byte // scratch for the current quantized frame (swapped with prev)
+	diff    []byte // scratch for P-frame deltas
 	w, h    int
 	count   int
 	quant   int
@@ -94,6 +96,17 @@ func quantize(v byte, q int) byte {
 // Encode compresses one frame. The first frame, every GOP-th frame, and
 // any resolution change produce an I-frame; the rest are P-frames.
 func (e *Encoder) Encode(f *render.Frame) *EncodedFrame {
+	out := &EncodedFrame{}
+	e.EncodeInto(f, out)
+	return out
+}
+
+// EncodeInto compresses one frame into ef, reusing ef.Data's capacity and
+// the encoder's internal scratch buffers: zero allocations per frame in
+// steady state. ef must not be shared with a previous EncodeInto call
+// that is still in flight (the fog streams one frame at a time per
+// session, so each session owns one EncodedFrame).
+func (e *Encoder) EncodeInto(f *render.Frame, ef *EncodedFrame) {
 	if e.GOP <= 0 {
 		e.GOP = DefaultGOP
 	}
@@ -103,35 +116,40 @@ func (e *Encoder) Encode(f *render.Frame) *EncodedFrame {
 	isI := e.count%e.GOP == 0 || e.prev == nil || e.w != f.Width || e.h != f.Height
 	e.count++
 
-	// Quantize into a scratch copy.
+	// Quantize into the reusable scratch buffer.
 	q := e.quant
-	cur := make([]byte, len(f.Pix))
+	if cap(e.cur) < len(f.Pix) {
+		e.cur = make([]byte, len(f.Pix))
+	}
+	cur := e.cur[:len(f.Pix)]
 	for i, v := range f.Pix {
 		cur[i] = quantize(v, q)
 	}
 
-	var payload []byte
-	var ftype FrameType
 	if isI {
-		ftype = IFrame
-		payload = rleEncode(cur)
+		ef.Type = IFrame
+		ef.Data = rleAppend(ef.Data[:0], cur)
 	} else {
-		ftype = PFrame
-		diff := make([]byte, len(cur))
-		for i := range cur {
-			diff[i] = cur[i] - e.prev[i]
+		ef.Type = PFrame
+		if cap(e.diff) < len(cur) {
+			e.diff = make([]byte, len(cur))
 		}
-		payload = rleEncode(diff)
+		diff := e.diff[:len(cur)]
+		prev := e.prev[:len(cur)]
+		for i := range cur {
+			diff[i] = cur[i] - prev[i]
+		}
+		ef.Data = rleAppend(ef.Data[:0], diff)
 	}
-	e.prev = cur
+	// Double-buffer: cur becomes the P-frame reference, the old reference
+	// becomes next frame's scratch.
+	e.prev, e.cur = cur, e.prev
 	e.w, e.h = f.Width, f.Height
 
-	out := &EncodedFrame{
-		Type: ftype, Width: f.Width, Height: f.Height,
-		Quant: uint8(q), Tick: f.Tick, Data: payload,
-	}
-	e.adaptQuant(out.SizeBits())
-	return out
+	ef.Width, ef.Height = f.Width, f.Height
+	ef.Quant = uint8(q)
+	ef.Tick = f.Tick
+	e.adaptQuant(ef.SizeBits())
 }
 
 // adaptQuant steers the quantization step toward the target bits/frame.
@@ -160,8 +178,10 @@ func (e *Encoder) Quant() int { return e.quant }
 
 // Decoder reconstructs frames from an encoded stream.
 type Decoder struct {
-	prev []byte
-	w, h int
+	prev    []byte
+	cur     []byte // scratch for the frame being reconstructed
+	payload []byte // scratch for the RLE-expanded payload
+	w, h    int
 }
 
 // Errors returned by Decode.
@@ -170,40 +190,71 @@ var (
 	ErrCorruptStream = errors.New("videocodec: corrupt payload")
 )
 
-// Decode reconstructs one frame.
+// Decode reconstructs one frame. The returned frame owns its pixels.
 func (d *Decoder) Decode(ef *EncodedFrame) (*render.Frame, error) {
-	n := ef.Width * ef.Height
-	if n <= 0 {
-		return nil, fmt.Errorf("%w: bad dimensions %dx%d", ErrCorruptStream, ef.Width, ef.Height)
-	}
-	payload, err := rleDecode(ef.Data, n)
-	if err != nil {
+	f := &render.Frame{}
+	if err := d.DecodeInto(ef, f); err != nil {
 		return nil, err
 	}
-	pix := make([]byte, n)
+	pix := make([]byte, len(f.Pix))
+	copy(pix, f.Pix)
+	f.Pix = pix
+	return f, nil
+}
+
+// DecodeInto reconstructs one frame into f, reusing the decoder's internal
+// buffers: zero allocations per frame in steady state. f.Pix aliases
+// decoder-owned memory and is valid only until the next DecodeInto call;
+// callers that keep pixels longer must copy them (Decode does).
+func (d *Decoder) DecodeInto(ef *EncodedFrame, f *render.Frame) error {
+	n := ef.Width * ef.Height
+	if n <= 0 {
+		return fmt.Errorf("%w: bad dimensions %dx%d", ErrCorruptStream, ef.Width, ef.Height)
+	}
+	if cap(d.payload) < n {
+		d.payload = make([]byte, 0, n)
+	}
+	payload, err := rleDecodeInto(d.payload[:0], ef.Data, n)
+	if err != nil {
+		return err
+	}
+	d.payload = payload[:0]
+	if cap(d.cur) < n {
+		d.cur = make([]byte, n)
+	}
+	pix := d.cur[:n]
 	switch ef.Type {
 	case IFrame:
 		copy(pix, payload)
 	case PFrame:
 		if d.prev == nil || d.w != ef.Width || d.h != ef.Height {
-			return nil, ErrNoReference
+			return ErrNoReference
 		}
+		prev := d.prev[:n]
 		for i := range pix {
-			pix[i] = d.prev[i] + payload[i]
+			pix[i] = prev[i] + payload[i]
 		}
 	default:
-		return nil, fmt.Errorf("%w: unknown frame type %d", ErrCorruptStream, ef.Type)
+		return fmt.Errorf("%w: unknown frame type %d", ErrCorruptStream, ef.Type)
 	}
-	d.prev = pix
+	// Double-buffer: pix becomes the P-frame reference, the old reference
+	// becomes next frame's scratch.
+	d.prev, d.cur = pix, d.prev
 	d.w, d.h = ef.Width, ef.Height
-	return &render.Frame{Width: ef.Width, Height: ef.Height, Pix: pix, Tick: ef.Tick}, nil
+	f.Width, f.Height, f.Pix, f.Tick = ef.Width, ef.Height, pix, ef.Tick
+	return nil
 }
 
 // --- run-length coding ----------------------------------------------------
 
 // rleEncode compresses with byte-level RLE: (count, value) pairs.
 func rleEncode(data []byte) []byte {
-	out := make([]byte, 0, len(data)/4+8)
+	return rleAppend(make([]byte, 0, len(data)/4+8), data)
+}
+
+// rleAppend compresses data with byte-level RLE, appending (count, value)
+// pairs to out; with enough capacity it does not allocate.
+func rleAppend(out, data []byte) []byte {
 	i := 0
 	for i < len(data) {
 		v := data[i]
@@ -219,21 +270,27 @@ func rleEncode(data []byte) []byte {
 
 // rleDecode expands an RLE payload to exactly n bytes.
 func rleDecode(data []byte, n int) ([]byte, error) {
+	return rleDecodeInto(make([]byte, 0, n), data, n)
+}
+
+// rleDecodeInto expands an RLE payload to exactly n bytes appended to out;
+// with enough capacity it does not allocate.
+func rleDecodeInto(out, data []byte, n int) ([]byte, error) {
 	if len(data)%2 != 0 {
 		return nil, fmt.Errorf("%w: odd RLE length", ErrCorruptStream)
 	}
-	out := make([]byte, 0, n)
+	base := len(out)
 	for i := 0; i+1 < len(data); i += 2 {
 		run, v := int(data[i]), data[i+1]
-		if run == 0 || len(out)+run > n {
+		if run == 0 || len(out)-base+run > n {
 			return nil, fmt.Errorf("%w: RLE overflow", ErrCorruptStream)
 		}
 		for j := 0; j < run; j++ {
 			out = append(out, v)
 		}
 	}
-	if len(out) != n {
-		return nil, fmt.Errorf("%w: RLE underflow (%d of %d)", ErrCorruptStream, len(out), n)
+	if len(out)-base != n {
+		return nil, fmt.Errorf("%w: RLE underflow (%d of %d)", ErrCorruptStream, len(out)-base, n)
 	}
 	return out, nil
 }
@@ -242,32 +299,58 @@ func rleDecode(data []byte, n int) ([]byte, error) {
 
 // Marshal serializes an encoded frame for transport.
 func (ef *EncodedFrame) Marshal() []byte {
-	buf := make([]byte, frameHeaderBytes+len(ef.Data))
-	buf[0] = byte(ef.Type)
-	buf[1] = ef.Quant
-	binary.BigEndian.PutUint16(buf[2:], uint16(ef.Width))
-	binary.BigEndian.PutUint16(buf[4:], uint16(ef.Height))
-	binary.BigEndian.PutUint64(buf[6:], ef.Tick)
-	binary.BigEndian.PutUint32(buf[14:], uint32(len(ef.Data)))
-	copy(buf[frameHeaderBytes:], ef.Data)
-	return buf
+	return ef.AppendTo(make([]byte, 0, ef.EncodedSize()))
 }
 
-// UnmarshalFrame parses a serialized encoded frame.
+// EncodedSize returns the exact Marshal()ed length in bytes.
+func (ef *EncodedFrame) EncodedSize() int { return frameHeaderBytes + len(ef.Data) }
+
+// AppendTo appends the serialized frame to buf and returns the extended
+// slice; with enough capacity it does not allocate. It implements
+// protocol.Appender, so a frame can be framed and flushed in one write:
+//
+//	buf, err = protocol.AppendMessage(buf[:0], protocol.MsgVideoFrame, ef)
+func (ef *EncodedFrame) AppendTo(buf []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	hdr[0] = byte(ef.Type)
+	hdr[1] = ef.Quant
+	binary.BigEndian.PutUint16(hdr[2:], uint16(ef.Width))
+	binary.BigEndian.PutUint16(hdr[4:], uint16(ef.Height))
+	binary.BigEndian.PutUint64(hdr[6:], ef.Tick)
+	binary.BigEndian.PutUint32(hdr[14:], uint32(len(ef.Data)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, ef.Data...)
+}
+
+// UnmarshalFrame parses a serialized encoded frame. The returned frame
+// owns its payload (Data is copied out of buf).
 func UnmarshalFrame(buf []byte) (*EncodedFrame, error) {
+	ef := &EncodedFrame{}
+	if err := UnmarshalFrameInto(buf, ef); err != nil {
+		return nil, err
+	}
+	ef.Data = append([]byte(nil), ef.Data...)
+	return ef, nil
+}
+
+// UnmarshalFrameInto parses a serialized encoded frame into ef without
+// copying: ef.Data aliases buf, so it is valid only as long as buf is —
+// for a payload from protocol.FrameReader, until the next Next call. The
+// thin-client decode loop decodes each frame before reading the next, so
+// it never needs the copy.
+func UnmarshalFrameInto(buf []byte, ef *EncodedFrame) error {
 	if len(buf) < frameHeaderBytes {
-		return nil, fmt.Errorf("%w: short frame header", ErrCorruptStream)
+		return fmt.Errorf("%w: short frame header", ErrCorruptStream)
 	}
 	n := int(binary.BigEndian.Uint32(buf[14:]))
 	if len(buf) < frameHeaderBytes+n {
-		return nil, fmt.Errorf("%w: truncated frame payload", ErrCorruptStream)
+		return fmt.Errorf("%w: truncated frame payload", ErrCorruptStream)
 	}
-	return &EncodedFrame{
-		Type:   FrameType(buf[0]),
-		Quant:  buf[1],
-		Width:  int(binary.BigEndian.Uint16(buf[2:])),
-		Height: int(binary.BigEndian.Uint16(buf[4:])),
-		Tick:   binary.BigEndian.Uint64(buf[6:]),
-		Data:   append([]byte(nil), buf[frameHeaderBytes:frameHeaderBytes+n]...),
-	}, nil
+	ef.Type = FrameType(buf[0])
+	ef.Quant = buf[1]
+	ef.Width = int(binary.BigEndian.Uint16(buf[2:]))
+	ef.Height = int(binary.BigEndian.Uint16(buf[4:]))
+	ef.Tick = binary.BigEndian.Uint64(buf[6:])
+	ef.Data = buf[frameHeaderBytes : frameHeaderBytes+n]
+	return nil
 }

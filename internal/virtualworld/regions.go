@@ -144,13 +144,20 @@ func (v Viewport) Contains(x, y float64) bool {
 // entities whose updates matter for that player, the content-adaptation
 // insight of Hemmati et al. the paper cites).
 func VisibleEntities(s Snapshot, v Viewport) []Entity {
-	var out []Entity
+	return AppendVisibleEntities(nil, s, v)
+}
+
+// AppendVisibleEntities appends the snapshot's entities inside the
+// viewport to dst and returns the extended slice; with enough capacity it
+// does not allocate. The renderer's per-frame culling uses this with a
+// reused scratch slice.
+func AppendVisibleEntities(dst []Entity, s Snapshot, v Viewport) []Entity {
 	for _, e := range s.Entities {
 		if v.Contains(e.X, e.Y) {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // FilterDeltas returns only the deltas that matter to the viewport:
