@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json chaos
+.PHONY: all build vet test race check lint lint-vet bench bench-json chaos
 
 all: check
 
@@ -9,6 +9,25 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: the five custom cloudfoglint analyzers (pooledbuf,
+# conndeadline, guardedby, deterministic, noretain — see DESIGN.md §11)
+# over the whole module, plus gofmt. govulncheck runs when installed and is
+# skipped otherwise (the container has no network to fetch it).
+lint:
+	$(GO) run ./cmd/cloudfoglint ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; fi
+
+# Same analyzers driven through the go command's vet-tool protocol, which
+# caches per-package results in the build cache.
+lint-vet:
+	$(GO) build -o bin/cloudfoglint ./cmd/cloudfoglint
+	$(GO) vet -vettool=$(CURDIR)/bin/cloudfoglint ./...
 
 test:
 	$(GO) test ./...

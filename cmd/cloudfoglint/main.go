@@ -1,0 +1,172 @@
+// Command cloudfoglint is the repo's invariant checker: a multichecker
+// over the five custom analyzers in internal/analysis (pooledbuf,
+// conndeadline, guardedby, deterministic, noretain). It runs two ways:
+//
+// Standalone, over package patterns (the make lint entry point):
+//
+//	go run ./cmd/cloudfoglint ./...
+//
+// As a vet tool, one compiled package at a time, driven by the go
+// command's JSON cfg protocol:
+//
+//	go vet -vettool=$(pwd)/bin/cloudfoglint ./...
+//
+// Both modes print file:line:col: message (analyzer) diagnostics and
+// exit non-zero when any survive. Suppress a diagnostic by annotating
+// the offending line (or the line above) with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// See DESIGN.md §11 for the invariants and the suppression policy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cloudfog/internal/analysis"
+	"cloudfog/internal/analysis/checkers"
+)
+
+var analyzers = checkers.All()
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes vet tools before use: -V=full must print a
+	// version fingerprint, -flags the supported flag set.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println("cloudfoglint version v1")
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Shared().Run(analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", analysis.Shared().Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cloudfoglint: %d invariant violation(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+// vetConfig mirrors the fields of the go command's vet cfg file that the
+// unit checker needs (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// vetUnit analyzes one package from a vet cfg: the go command has
+// already compiled every dependency and tells us where the export data
+// lives, so type-checking needs no go list round-trips.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cloudfoglint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts are not implemented; write the (empty) output the go command
+	// expects so caching works.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+			return 1
+		}
+		astFiles = append(astFiles, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, astFiles, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudfoglint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(fset, astFiles, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package checkers
+
+import (
+	"strings"
+	"testing"
+
+	"cloudfog/internal/analysis"
+)
+
+// TestTreeClean asserts that the checked-in tree carries zero cloudfoglint
+// diagnostics. This is the regression gate the analyzers exist for: fixing
+// a violation (or blessing it with //lint:ignore) is part of the change
+// that introduces it, never deferred. If this test fails, run
+//
+//	go run ./cmd/cloudfoglint ./...
+//
+// for the same diagnostics with file:line positions.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader := analysis.Shared()
+	diags, err := loader.Run(All(), "cloudfog/...")
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostic(s) on HEAD; fix or annotate with //lint:ignore <analyzer> <reason>", len(diags))
+	}
+}
+
+// TestRegistryComplete guards against an analyzer package existing without
+// being wired into the registry (and therefore silently unenforced).
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"pooledbuf", "conndeadline", "guardedby", "deterministic", "noretain"}
+	got := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc, or Run", a.Name)
+		}
+		got[a.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("analyzer %q not registered in checkers.All()", name)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d analyzers, want %d: %s", len(All()), len(want), strings.Join(want, ", "))
+	}
+}

@@ -1,0 +1,16 @@
+package conndeadline_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/conndeadline"
+)
+
+func TestConnDeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), conndeadline.Analyzer, "fognet")
+}
+
+func TestExemptPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), conndeadline.Analyzer, "other")
+}

@@ -1,0 +1,9 @@
+// Fixture: conn I/O outside the live-networking packages (by package
+// name) is out of the invariant's scope — no diagnostics expected.
+package other
+
+import "net"
+
+func bareRead(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf)
+}

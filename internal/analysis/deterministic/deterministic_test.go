@@ -1,0 +1,18 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deterministic.Analyzer, "sim")
+}
+
+// TestExemptPackage checks the name gate: the same violations in a
+// non-simulator package produce no diagnostics.
+func TestExemptPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deterministic.Analyzer, "fognetish")
+}

@@ -1,0 +1,15 @@
+// Fixture: a live-networking package (name outside the simulator set) may
+// use wall clocks and timers freely — no diagnostics expected anywhere.
+package fognetish
+
+import "time"
+
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}
+
+func pace() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}

@@ -1,0 +1,91 @@
+// Fixture for the deterministic analyzer: package name "sim" puts it in
+// the simulator set, so wall-clock time, global math/rand, and
+// map-ordered output must all be flagged.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive: wall-clock reads.
+func wallClock() float64 {
+	start := time.Now() // want `time\.Now in simulator package sim`
+	work()
+	return float64(time.Since(start)) // want `time\.Since in simulator package sim`
+}
+
+// Positive: real timers.
+func timers() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in simulator package sim`
+}
+
+// Positive: the global math/rand source.
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand\.Intn in simulator package sim`
+}
+
+// Positive: map iteration order leaking into an output slice.
+func unsortedKeys(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// Positive: printing while ranging a map.
+func printLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map`
+	}
+}
+
+// Negative: a seeded private source is deterministic.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// Negative: collect-then-sort is the blessed pattern.
+func sortedKeys(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Negative: order-insensitive reduction over a map.
+func sum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Negative: appends to a slice scoped inside the loop body don't outlive
+// an iteration.
+func perIteration(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Negative: a documented suppression keeps the wall clock available for
+// explicitly opted-in measurement hooks.
+func suppressed() time.Time {
+	//lint:ignore deterministic fixture demonstrating the suppression convention
+	return time.Now()
+}
+
+// time.Duration arithmetic and constants are fine.
+func work() time.Duration { return 3 * time.Millisecond }

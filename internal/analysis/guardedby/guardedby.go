@@ -1,0 +1,256 @@
+// Package guardedby enforces the mutex annotations the reputation books
+// and fognet tiers rely on (Eq. 7's concurrent rating paths): a struct
+// field annotated
+//
+//	ratings map[int][]Rating // guarded by mu
+//
+// may only be read while <base>.mu is held via Lock or RLock, and only
+// written (assigned, incremented, or address-taken) while held via Lock,
+// where <base> is the same expression the access uses (b.ratings needs
+// b.mu). The check is an intra-function source-order heuristic: it
+// counts Lock/Unlock pairs textually before the access inside the same
+// function literal, treats deferred unlocks as held to the end, and
+// exempts functions whose name ends in "Locked" (the callee-documents-
+// caller convention). Cross-function locking that fits neither shape is
+// documented at the access with //lint:ignore guardedby <why>.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated 'guarded by <mu>' are only accessed with the mutex held",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectAnnotations(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: guards}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Name.Name, n.Body)
+				}
+			case *ast.FuncLit:
+				c.checkFunc("", n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAnnotations maps annotated field objects to their guarding
+// mutex's field name.
+func collectAnnotations(pass *analysis.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func annotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards map[types.Object]string
+}
+
+// lockEvent is one mutex operation in source order.
+type lockEvent struct {
+	expr     string // "<base>.<mu>"
+	pos      token.Pos
+	delta    int  // +1 acquire, -1 release
+	readOnly bool // RLock/RUnlock
+	deferred bool // deferred releases never take effect in-function
+}
+
+// access is one use of a guarded field.
+type access struct {
+	sel   *ast.SelectorExpr
+	mu    string // required mutex expression "<base>.<mu>"
+	field string
+	muFld string
+	write bool
+}
+
+func (c *checker) checkFunc(name string, body *ast.BlockStmt) {
+	if strings.HasSuffix(name, "Locked") {
+		return // documented caller-holds-the-lock convention
+	}
+	writes := writeTargets(body)
+	var events []lockEvent
+	var accesses []access
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function, separate discipline
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			return true
+		case *ast.CallExpr:
+			if ev, ok := c.lockEventOf(n); ok {
+				ev.deferred = deferred[n]
+				events = append(events, ev)
+			}
+			return true
+		case *ast.SelectorExpr:
+			obj := c.fieldObj(n)
+			if obj == nil {
+				return true
+			}
+			mu, guarded := c.guards[obj]
+			if !guarded {
+				return true
+			}
+			accesses = append(accesses, access{
+				sel:   n,
+				mu:    types.ExprString(n.X) + "." + mu,
+				field: obj.Name(),
+				muFld: mu,
+				write: writes[n],
+			})
+		}
+		return true
+	})
+	for _, a := range accesses {
+		if !held(events, a) {
+			verb, need := "read", "Lock or RLock"
+			if a.write {
+				verb, need = "written", "Lock"
+			}
+			c.pass.Reportf(a.sel.Sel.Pos(),
+				"field %s is annotated 'guarded by %s' but is %s without %s held (intra-function heuristic); acquire %s, use a ...Locked helper, or document with //lint:ignore guardedby <why>",
+				a.field, a.muFld, verb, a.mu+"."+need, a.mu)
+		}
+	}
+}
+
+// held replays the lock events textually preceding the access.
+func held(events []lockEvent, a access) bool {
+	depth := 0
+	for _, ev := range events {
+		if ev.pos >= a.sel.Pos() || ev.expr != a.mu {
+			continue
+		}
+		if ev.deferred {
+			continue // releases at function exit, after the access
+		}
+		if a.write && ev.readOnly {
+			continue // an RLock does not license writes
+		}
+		depth += ev.delta
+	}
+	return depth > 0
+}
+
+// lockEventOf recognizes <base>.<mu>.Lock/RLock/Unlock/RUnlock() calls.
+func (c *checker) lockEventOf(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var delta int
+	var readOnly bool
+	switch sel.Sel.Name {
+	case "Lock":
+		delta = 1
+	case "RLock":
+		delta, readOnly = 1, true
+	case "Unlock":
+		delta = -1
+	case "RUnlock":
+		delta, readOnly = -1, true
+	default:
+		return lockEvent{}, false
+	}
+	if _, isMethod := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isMethod {
+		return lockEvent{}, false
+	}
+	return lockEvent{expr: types.ExprString(sel.X), pos: call.Pos(), delta: delta, readOnly: readOnly}, true
+}
+
+// fieldObj resolves the field selected by sel, or nil.
+func (c *checker) fieldObj(sel *ast.SelectorExpr) types.Object {
+	if s, ok := c.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// writeTargets marks every selector that is assigned, incremented, or
+// address-taken in body.
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		// b.ratings[id] = ... writes through the guarded map/slice
+		// header: the exclusive lock is required just the same.
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "a")
+}

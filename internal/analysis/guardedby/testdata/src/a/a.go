@@ -1,0 +1,78 @@
+// Fixture for the guardedby analyzer: a reputation-book-shaped struct
+// with annotated fields.
+package a
+
+import "sync"
+
+type book struct {
+	mu sync.RWMutex
+	// ratings is the ledger of Eq. 7 ratings.
+	ratings map[int][]float64 // guarded by mu
+	total   int               // guarded by mu
+	lambda  float64           // immutable after construction: unannotated
+}
+
+// Positive: read without the lock.
+func (b *book) leakyRead(id int) int {
+	return len(b.ratings[id]) // want `field ratings is annotated 'guarded by mu' but is read without b\.mu\.Lock or RLock held`
+}
+
+// Positive: write under RLock only.
+func (b *book) writeUnderRLock(id int, v float64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.ratings[id] = append(b.ratings[id], v) // want `field ratings is annotated 'guarded by mu' but is written without b\.mu\.Lock held`
+}
+
+// Positive: access after the unlock.
+func (b *book) afterUnlock() int {
+	b.mu.Lock()
+	n := b.total
+	b.mu.Unlock()
+	return n + b.total // want `field total is annotated 'guarded by mu' but is read without b\.mu\.Lock or RLock held`
+}
+
+// Positive: taking the address leaks a write path.
+func (b *book) addressEscape() *int {
+	return &b.total // want `field total is annotated 'guarded by mu' but is written without b\.mu\.Lock held`
+}
+
+// Negative: the canonical lock/defer-unlock shape.
+func (b *book) rate(id int, v float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ratings[id] = append(b.ratings[id], v)
+	b.total++
+}
+
+// Negative: RLock licenses reads.
+func (b *book) count(id int) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.ratings[id])
+}
+
+// Negative: explicit unlock after the access.
+func (b *book) snapshotTotal() int {
+	b.mu.RLock()
+	n := b.total
+	b.mu.RUnlock()
+	return n
+}
+
+// Negative: unannotated fields are unconstrained.
+func (b *book) aging() float64 {
+	return b.lambda
+}
+
+// Negative: the Locked-suffix convention documents that the caller holds
+// the mutex.
+func (b *book) countLocked(id int) int {
+	return len(b.ratings[id])
+}
+
+// Negative: a documented cross-function locking scheme.
+func (b *book) external() int {
+	//lint:ignore guardedby caller serializes access during single-threaded bootstrap
+	return b.total
+}

@@ -1,0 +1,190 @@
+// Package noretain enforces the FrameReader aliasing contract of
+// DESIGN.md §10: the payload slice returned by
+// (*protocol.FrameReader).Next or protocol.ReadMessageInto aliases a
+// buffer that is overwritten by the next read, so it must not outlive
+// the current iteration. Within the receiving function, the payload (or
+// any alias or subslice of it) must not be
+//
+//   - stored into a struct field, map, slice element, or package-level
+//     variable,
+//   - sent on a channel,
+//   - appended as an element (append(frames, p) retains the alias;
+//     append(dst[:0], p...) copies and is fine),
+//   - placed in a composite literal (the literal outlives the read as
+//     soon as it is stored anywhere), or
+//   - captured by a go statement's closure (it races the next read).
+//
+// Code that intentionally hands the bytes off after a copy does so via
+// append/copy, which the analyzer recognizes; anything cleverer is
+// documented with //lint:ignore noretain <why>.
+package noretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noretain",
+	Doc:  "FrameReader/ReadMessageInto payloads must not be stored past the next read",
+	Run:  run,
+}
+
+// payloadSources maps function full names to the index of the ephemeral
+// payload in their result tuple.
+var payloadSources = map[string]int{
+	"(*cloudfog/internal/protocol.FrameReader).Next": 1,
+	"cloudfog/internal/protocol.ReadMessageInto":     1,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	// Pass 1: taint payload results and propagate through plain aliases
+	// (q := p, q := p[i:j]). Two sweeps reach aliases declared before a
+	// later re-taint in loops.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				return false // analyzed as its own function
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 {
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+					if idx, ok := payloadSources[analysis.FullName(pass.TypesInfo, call)]; ok && idx < len(as.Lhs) {
+						if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name != "_" {
+							taintIdent(pass, tainted, id)
+						}
+						return true
+					}
+				}
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for j, rhs := range as.Rhs {
+					if obj := sliceRoot(pass, rhs); obj != nil && tainted[obj] {
+						if id, ok := as.Lhs[j].(*ast.Ident); ok && id.Name != "_" {
+							taintIdent(pass, tainted, id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Pass 2: find retention points.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // analyzed as its own function
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for j, rhs := range n.Rhs {
+				obj := sliceRoot(pass, rhs)
+				if obj == nil || !tainted[obj] {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[j]).(type) {
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var); ok && isGlobal(v) {
+						report(pass, rhs, obj, "stored in package-level variable "+lhs.Name)
+					}
+				case *ast.SelectorExpr:
+					report(pass, rhs, obj, "stored in field "+lhs.Sel.Name)
+				case *ast.IndexExpr:
+					report(pass, rhs, obj, "stored in a map or slice element")
+				}
+			}
+		case *ast.SendStmt:
+			if obj := sliceRoot(pass, n.Value); obj != nil && tainted[obj] {
+				report(pass, n.Value, obj, "sent on a channel")
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && !n.Ellipsis.IsValid() {
+				for _, arg := range n.Args[1:] {
+					if obj := sliceRoot(pass, arg); obj != nil && tainted[obj] {
+						report(pass, arg, obj, "appended as an element (append(dst[:0], "+obj.Name()+"...) copies instead)")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := sliceRoot(pass, e); obj != nil && tainted[obj] {
+					report(pass, e, obj, "placed in a composite literal")
+				}
+			}
+		case *ast.GoStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+						report(pass, id, obj, "captured by a goroutine that races the next read")
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+func taintIdent(pass *analysis.Pass, tainted map[types.Object]bool, id *ast.Ident) {
+	if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+		tainted[obj] = true
+	}
+}
+
+// sliceRoot returns the object of e when e is a bare identifier or a
+// subslice of one (p, p[i:j]); deeper expressions (p[i], len(p),
+// append(dst[:0], p...)) do not retain the alias.
+func sliceRoot(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SliceExpr:
+		return sliceRoot(pass, e.X)
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, at ast.Node, obj types.Object, how string) {
+	pass.Reportf(at.Pos(),
+		"payload %s aliases the frame reader's internal buffer (overwritten by the next read) and is %s; copy the bytes first or document with //lint:ignore noretain <why>",
+		obj.Name(), how)
+}
+
+func isGlobal(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

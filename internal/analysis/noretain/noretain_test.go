@@ -1,0 +1,12 @@
+package noretain_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/noretain"
+)
+
+func TestNoRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noretain.Analyzer, "a")
+}

@@ -1,0 +1,134 @@
+// Fixture for the noretain analyzer, against the real FrameReader
+// aliasing contract.
+package a
+
+import (
+	"io"
+
+	"cloudfog/internal/protocol"
+)
+
+type sink struct {
+	last []byte
+}
+
+var lastGlobal []byte
+
+// Positive: storing the payload in a field retains the alias.
+func storeInField(r io.Reader, s *sink) error {
+	fr := protocol.NewFrameReader(r)
+	for {
+		_, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		s.last = payload // want `payload payload aliases the frame reader's internal buffer .* stored in field last`
+	}
+}
+
+// Positive: a map entry outlives the next read.
+func storeInMap(r io.Reader, byType map[byte][]byte) error {
+	fr := protocol.NewFrameReader(r)
+	typ, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	byType[byte(typ)] = payload // want `stored in a map or slice element`
+	return nil
+}
+
+// Positive: channel send hands the alias to another goroutine.
+func sendOnChannel(r io.Reader, ch chan []byte) error {
+	fr := protocol.NewFrameReader(r)
+	_, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	ch <- payload // want `sent on a channel`
+	return nil
+}
+
+// Positive: appending the slice itself (not its bytes) retains it.
+func appendElement(r io.Reader) ([][]byte, error) {
+	fr := protocol.NewFrameReader(r)
+	var frames [][]byte
+	for i := 0; i < 3; i++ {
+		_, payload, err := fr.Next()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, payload) // want `appended as an element`
+	}
+	return frames, nil
+}
+
+// Positive: a subslice aliases the same buffer; composite literals
+// outlive the read as soon as they are stored.
+type record struct{ body []byte }
+
+func compositeAndSubslice(r io.Reader, global bool) (record, error) {
+	fr := protocol.NewFrameReader(r)
+	_, payload, err := fr.Next()
+	if err != nil {
+		return record{}, err
+	}
+	body := payload[1:]
+	if global {
+		lastGlobal = body // want `stored in package-level variable lastGlobal`
+	}
+	return record{body: body}, nil // want `placed in a composite literal`
+}
+
+// Positive: a goroutine races the next read over the shared buffer.
+func goroutineCapture(r io.Reader, process func([]byte)) error {
+	fr := protocol.NewFrameReader(r)
+	for {
+		_, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		go process(payload) // want `captured by a goroutine that races the next read`
+	}
+}
+
+// Negative: copying the bytes before retaining is the blessed pattern.
+func copies(r io.Reader, s *sink) error {
+	fr := protocol.NewFrameReader(r)
+	_, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	s.last = append(s.last[:0], payload...)
+	dst := make([]byte, len(payload))
+	copy(dst, payload)
+	lastGlobal = dst
+	return nil
+}
+
+// Negative: the caller-owned ReadMessageInto loop reuses its own buffer
+// by design, and synchronous calls may borrow the payload freely.
+func borrowSynchronously(r io.Reader, decode func([]byte) error) error {
+	var buf []byte
+	for {
+		_, payload, err := protocol.ReadMessageInto(r, buf)
+		if err != nil {
+			return err
+		}
+		buf = payload
+		if err := decode(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Negative: a documented retention (caller guarantees no further reads).
+func documented(r io.Reader, s *sink) error {
+	fr := protocol.NewFrameReader(r)
+	_, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	//lint:ignore noretain the reader is discarded after this final frame
+	s.last = payload
+	return nil
+}

@@ -1,0 +1,452 @@
+// Package pooledbuf enforces the pooled-buffer lifecycle rule of
+// DESIGN.md §10: every protocol.GetBuffer() must be matched by a
+// protocol.PutBuffer on every path out of the acquiring function —
+// including early error returns — unless ownership demonstrably moves
+// elsewhere (the handle is returned, stored into a field, sent on a
+// channel, or captured by a goroutine/deferred closure, as the
+// refcounted sharedPayload fan-out does).
+//
+// The check is a path-sensitive walk over the structured AST: branches
+// of if/switch/select are analyzed separately and a buffer only counts
+// as released after a branch point if every surviving branch released
+// it. Using the buffer's contents (buf.B) never transfers ownership;
+// only the *Buffer handle itself does. Passing the handle to a helper
+// other than PutBuffer does NOT count as a release — a helper that
+// legitimately assumes ownership must be annotated at the call site
+// with //lint:ignore pooledbuf <why>.
+package pooledbuf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pooledbuf",
+	Doc:  "protocol.GetBuffer must reach PutBuffer (or transfer ownership) on every path",
+	Run:  run,
+}
+
+const (
+	getName = "cloudfog/internal/protocol.GetBuffer"
+	putName = "cloudfog/internal/protocol.PutBuffer"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					analyzeFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				analyzeFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// cell is one tracked buffer acquisition.
+type cell struct {
+	getPos   token.Pos
+	reported bool
+}
+
+// state maps each acquisition to whether this path still owes a release.
+// A missing cell means "nothing to release on this path".
+type state map[*cell]bool // true = live (owed)
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// fn bundles the per-function walk context.
+type fn struct {
+	pass *analysis.Pass
+	// objs maps a variable (or alias) to its acquisition.
+	objs map[types.Object]*cell
+}
+
+func analyzeFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	f := &fn{pass: pass, objs: make(map[types.Object]*cell)}
+	st := make(state)
+	terminated := f.walk(body.List, st)
+	if !terminated {
+		f.checkExit(st, body.End())
+	}
+}
+
+// checkExit reports every acquisition still live when a path leaves the
+// function at pos.
+func (f *fn) checkExit(st state, pos token.Pos) {
+	for c, live := range st {
+		if live && !c.reported {
+			c.reported = true
+			exit := f.pass.Fset.Position(pos)
+			f.pass.Reportf(c.getPos,
+				"pooled buffer from protocol.GetBuffer is not returned to the pool on the path exiting at line %d; call protocol.PutBuffer on every path (or defer it)", exit.Line)
+		}
+	}
+}
+
+// walk interprets stmts in order, mutating st; it reports true when the
+// statement list cannot fall through (return/panic on every path).
+func (f *fn) walk(stmts []ast.Stmt, st state) bool {
+	for _, s := range stmts {
+		if f.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fn) stmt(s ast.Stmt, st state) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		f.assign(s, st)
+	case *ast.ExprStmt:
+		return f.exprStmt(s.X, st)
+	case *ast.DeferStmt:
+		f.deferStmt(s, st)
+	case *ast.GoStmt:
+		// Anything the goroutine captures is its responsibility now.
+		f.escapeUses(s.Call, st)
+	case *ast.SendStmt:
+		f.escapeUses(s.Value, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			f.escapeUses(r, st)
+		}
+		f.checkExit(st, s.Pos())
+		return true
+	case *ast.BlockStmt:
+		return f.walk(s.List, st)
+	case *ast.LabeledStmt:
+		return f.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		thenSt := st.clone()
+		thenTerm := f.walk(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = f.stmt(s.Else, elseSt)
+		}
+		mergeInto(st, []state{thenSt, elseSt}, []bool{thenTerm, elseTerm})
+		return thenTerm && elseTerm
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return f.branches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		bodySt := st.clone()
+		f.walk(s.Body.List, bodySt)
+		leniently(st, bodySt)
+	case *ast.RangeStmt:
+		bodySt := st.clone()
+		f.walk(s.Body.List, bodySt)
+		leniently(st, bodySt)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list.
+		return true
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						if f.isGetCall(v) && i < len(vs.Names) {
+							f.bind(vs.Names[i], st)
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// branches handles switch/type-switch/select uniformly: every clause is
+// a separate path; with no default clause the pre-state also survives.
+func (f *fn) branches(s ast.Stmt, st state) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var sts []state
+	var terms []bool
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				// The comm op itself may transfer ownership (ch <- buf).
+				cs := st.clone()
+				f.stmt(c.Comm, cs)
+				sts = append(sts, cs)
+				terms = append(terms, f.walk(c.Body, cs))
+				continue
+			}
+			stmts = c.Body
+		}
+		cs := st.clone()
+		sts = append(sts, cs)
+		terms = append(terms, f.walk(stmts, cs))
+	}
+	allTerm := len(sts) > 0
+	for _, t := range terms {
+		allTerm = allTerm && t
+	}
+	covered := hasDefault
+	if _, isSelect := s.(*ast.SelectStmt); isSelect {
+		covered = true // a select always runs one clause
+	}
+	if !covered {
+		sts = append(sts, st.clone())
+		terms = append(terms, false)
+		allTerm = false
+	}
+	mergeInto(st, sts, terms)
+	return allTerm
+}
+
+// mergeInto joins branch states: a cell stays owed unless every
+// non-terminated branch discharged it.
+func mergeInto(st state, branches []state, terminated []bool) {
+	cells := make(map[*cell]bool)
+	for _, b := range branches {
+		for c := range b {
+			cells[c] = true
+		}
+	}
+	for c := range st {
+		cells[c] = true
+	}
+	for c := range cells {
+		live := false
+		any := false
+		for i, b := range branches {
+			if terminated[i] {
+				continue // that path already had its exit check
+			}
+			any = true
+			if b[c] {
+				live = true
+			}
+		}
+		if !any {
+			live = st[c]
+		}
+		st[c] = live
+	}
+}
+
+// leniently folds a loop body's end state into the pre-state: a release
+// observed in the body counts (one Get/Put pair per iteration is the
+// common shape), but an acquisition made in the body does not leak into
+// the post-loop state — its leaks were checked at exits inside the body.
+func leniently(st, bodySt state) {
+	for c, live := range bodySt {
+		if !live {
+			st[c] = false
+		}
+	}
+}
+
+func (f *fn) assign(s *ast.AssignStmt, st state) {
+	// RHS first: escapes and new acquisitions.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			if f.isGetCall(rhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					f.bind(id, st)
+				}
+				// Stored straight into a field/map: ownership lives
+				// with that structure (e.g. sharedPayload); not tracked.
+				continue
+			}
+			if obj := f.handleObj(rhs); obj != nil {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if isBlank(id) {
+						// _ = buf discards nothing; the handle stays owed.
+						continue
+					}
+					// Alias: lhs now owes the same release.
+					if lo := f.objOf(id); lo != nil {
+						f.objs[lo] = f.objs[obj]
+						continue
+					}
+				}
+				// Handle stored into a field, slice, map, or global:
+				// ownership transferred.
+				if c := f.objs[obj]; c != nil {
+					st[c] = false
+				}
+				continue
+			}
+			f.escapeUses(rhs, st)
+		}
+		return
+	}
+	for _, rhs := range s.Rhs {
+		f.escapeUses(rhs, st)
+	}
+}
+
+func (f *fn) exprStmt(e ast.Expr, st state) (terminated bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if name := analysis.FullName(f.pass.TypesInfo, call); name == putName {
+		f.releaseArgs(call, st)
+		return false
+	}
+	if isNoReturnCall(f.pass.TypesInfo, call) {
+		return true
+	}
+	// Other calls (encoders, writers) see the contents; the handle stays
+	// owed here.
+	return false
+}
+
+func (f *fn) deferStmt(s *ast.DeferStmt, st state) {
+	if name := analysis.FullName(f.pass.TypesInfo, s.Call); name == putName {
+		f.releaseArgs(s.Call, st)
+		return
+	}
+	// defer helper(buf) or defer func() { ... buf ... }(): the deferred
+	// code runs on every exit, so treat anything it captures as released.
+	f.escapeUses(s.Call, st)
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		f.escapeUses(lit, st)
+	}
+}
+
+func (f *fn) releaseArgs(call *ast.CallExpr, st state) {
+	for _, a := range call.Args {
+		if obj := f.handleObj(a); obj != nil {
+			if c := f.objs[obj]; c != nil {
+				st[c] = false
+			}
+		}
+	}
+}
+
+// bind starts tracking a fresh acquisition assigned to id.
+func (f *fn) bind(id *ast.Ident, st state) {
+	if isBlank(id) {
+		return
+	}
+	obj := f.objOf(id)
+	if obj == nil {
+		return
+	}
+	c := &cell{getPos: id.Pos()}
+	f.objs[obj] = c
+	st[c] = true
+}
+
+func (f *fn) objOf(id *ast.Ident) types.Object {
+	if o := f.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return f.pass.TypesInfo.Uses[id]
+}
+
+// handleObj returns the tracked object when e is a bare reference to a
+// buffer handle (possibly parenthesized); buf.B and friends return nil —
+// touching contents is not an ownership event.
+func (f *fn) handleObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := f.pass.TypesInfo.Uses[id]
+	if obj == nil || f.objs[obj] == nil {
+		return nil
+	}
+	return obj
+}
+
+// escapeUses marks every tracked handle referenced *as a handle* inside
+// e as transferred. An identifier that only appears as the base of a
+// selector (buf.B) is a contents-use and stays owed.
+func (f *fn) escapeUses(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Visit only the non-base parts; skip the base identifier.
+			if _, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+				return false
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := f.pass.TypesInfo.Uses[id]; obj != nil {
+				if c := f.objs[obj]; c != nil {
+					st[c] = false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *fn) isGetCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return analysis.FullName(f.pass.TypesInfo, call) == getName
+}
+
+// isNoReturnCall recognizes calls that never return: panic and the
+// conventional process/test aborts.
+func isNoReturnCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+			return true
+		}
+	}
+	switch analysis.FullName(info, call) {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
+}
+
+func isBlank(id *ast.Ident) bool { return id.Name == "_" }

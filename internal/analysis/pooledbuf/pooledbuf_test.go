@@ -1,0 +1,12 @@
+package pooledbuf_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/pooledbuf"
+)
+
+func TestPooledBuf(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pooledbuf.Analyzer, "a")
+}

@@ -1,0 +1,143 @@
+// Fixture for the pooledbuf analyzer, exercising the DESIGN.md §10
+// lifecycle rule against the real cloudfog/internal/protocol pool.
+package a
+
+import (
+	"errors"
+	"io"
+
+	"cloudfog/internal/protocol"
+)
+
+var errBad = errors.New("bad")
+
+// Positive: leaked on the early error return.
+func leakOnErrorPath(w io.Writer, fail bool) error {
+	buf := protocol.GetBuffer() // want `not returned to the pool on the path exiting at line \d+`
+	buf.B = append(buf.B, 1, 2, 3)
+	if fail {
+		return errBad // leaks
+	}
+	_, err := w.Write(buf.B)
+	protocol.PutBuffer(buf)
+	return err
+}
+
+// Positive: never released at all — leaks at the fall-off-the-end exit.
+func leakAtEnd() {
+	buf := protocol.GetBuffer() // want `not returned to the pool on the path exiting at line \d+`
+	buf.B = append(buf.B, 0xff)
+}
+
+// Positive: only one arm of the branch releases.
+func leakInBranch(n int) int {
+	buf := protocol.GetBuffer() // want `not returned to the pool on the path exiting at line \d+`
+	if n > 0 {
+		protocol.PutBuffer(buf)
+		return n
+	}
+	return -n // leaks
+}
+
+// Positive: released in the loop body but a break path escapes first.
+func leakOnBreak(chunks [][]byte) {
+	for _, c := range chunks {
+		buf := protocol.GetBuffer() // want `not returned to the pool on the path exiting at line \d+`
+		buf.B = append(buf.B, c...)
+		if len(c) == 0 {
+			return // leaks this iteration's buffer
+		}
+		protocol.PutBuffer(buf)
+	}
+}
+
+// Negative: the canonical defer pairing.
+func deferred(w io.Writer) error {
+	buf := protocol.GetBuffer()
+	defer protocol.PutBuffer(buf)
+	var err error
+	if buf.B, err = protocol.AppendFrame(buf.B, protocol.MsgHeartbeat, nil); err != nil {
+		return err
+	}
+	_, err = w.Write(buf.B)
+	return err
+}
+
+// Negative: explicit release on both the error and the success path (the
+// snWriter shape).
+func explicitBothPaths(w io.Writer, payloads [][]byte) error {
+	buf := protocol.GetBuffer()
+	var err error
+	for _, p := range payloads {
+		if buf.B, err = protocol.AppendFrame(buf.B, protocol.MsgUpdateBatch, p); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		_, err = w.Write(buf.B)
+	}
+	protocol.PutBuffer(buf)
+	return err
+}
+
+// Negative: ownership moves into a struct; whoever holds the field
+// releases it later (the refcounted sharedPayload shape).
+type holder struct{ buf *protocol.Buffer }
+
+func transferToField(h *holder) {
+	h.buf = protocol.GetBuffer()
+}
+
+// Negative: returning the handle transfers ownership to the caller.
+func transferToCaller() *protocol.Buffer {
+	buf := protocol.GetBuffer()
+	buf.B = append(buf.B, 1)
+	return buf
+}
+
+// Negative: sending the handle transfers ownership to the receiver.
+func transferOnChannel(ch chan *protocol.Buffer) {
+	buf := protocol.GetBuffer()
+	ch <- buf
+}
+
+// Negative: a deferred closure releases on every exit.
+func deferredClosure(fail bool) error {
+	buf := protocol.GetBuffer()
+	defer func() { protocol.PutBuffer(buf) }()
+	if fail {
+		return errBad
+	}
+	return nil
+}
+
+// Negative: a documented ownership transfer to a helper.
+func releaseViaHelper() {
+	//lint:ignore pooledbuf flush assumes ownership and returns buf to the pool
+	buf := protocol.GetBuffer()
+	flush(buf)
+}
+
+func flush(buf *protocol.Buffer) { protocol.PutBuffer(buf) }
+
+// Positive: a blank assignment is not a release — the handle is simply
+// discarded and the buffer never returns to the pool.
+func leakViaBlank() {
+	buf := protocol.GetBuffer() // want `pooled buffer from protocol.GetBuffer is not returned`
+	buf.B = append(buf.B, 1)
+	_ = buf
+}
+
+// Positive: returning from inside a for/select loop leaks an acquisition
+// made before the loop (the video-session shape without its defer).
+func leakFromSelectLoop(stop chan struct{}, ch chan int) {
+	buf := protocol.GetBuffer() // want `pooled buffer from protocol.GetBuffer is not returned`
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-ch:
+			buf.B = append(buf.B, byte(v))
+		}
+	}
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"cloudfog/internal/netmodel"
 	"cloudfog/internal/trace"
@@ -112,6 +113,12 @@ type Config struct {
 	// AssignH1 and AssignH2 are the server-assignment refinement bounds.
 	AssignH1 int
 	AssignH2 int
+	// WallClock, when non-nil, supplies real time for the server-assignment
+	// latency metric (Fig. 9). The simulator itself never reads the wall
+	// clock: with WallClock nil (the default, and what every experiment
+	// uses) the latency is modeled deterministically from the work the
+	// assignment run performed, so seeded runs reproduce bit-for-bit.
+	WallClock func() time.Time
 	// ProvisionEpsilon is ε, the provisioning headroom factor.
 	ProvisionEpsilon float64
 	// ProvisionWindowHours is m, the forecasting window (paper: 4 h).

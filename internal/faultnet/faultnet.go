@@ -410,6 +410,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	if err := c.sleep(wait, wdl); err != nil {
 		return 0, err
 	}
+	//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetWriteDeadline mirrors onto inner
 	return c.inner.Write(b)
 }
 
@@ -431,6 +432,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 			return 0, ErrReset
 		}
 	}
+	//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetReadDeadline mirrors onto inner
 	return c.inner.Read(b)
 }
 

@@ -110,9 +110,9 @@ type CloudServer struct {
 	mu            sync.Mutex
 	world         *virtualworld.World
 	pending       []virtualworld.Action
-	supernodes    map[uint32]*supernodeConn
+	supernodes    map[uint32]*supernodeConn // guarded by mu
 	nextSNID      uint32
-	players       map[int32]*playerConn
+	players       map[int32]*playerConn // guarded by mu
 	ticks         int64
 	fallbackBits  int64
 	fallbackCount int64
@@ -128,7 +128,7 @@ type CloudServer struct {
 	queueDrops atomic.Int64
 
 	// Live §3.2 selection control plane: QoE reports from players feed
-	// book, and candidateInfos ranks the ladder with ranker. addrIDs maps
+	// book, and candidateInfosLocked ranks the ladder with ranker. addrIDs maps
 	// stream addresses to stable reputation IDs so a supernode keeps its
 	// history across reconnects (connection IDs are reassigned).
 	book       *reputation.GlobalBook
@@ -600,13 +600,14 @@ func (s *CloudServer) addrID(addr string) int {
 	return id
 }
 
-// candidateInfos snapshots the current failover ladder under mu, ranked by
+// candidateInfosLocked snapshots the current failover ladder — the caller
+// must hold mu — ranked by
 // the shared §3.2 pipeline: candidates carry their last-acked load,
 // advertised capacity, and live QoE score, ordered best-first by the
 // configured policy (the alphabetical sort this replaces ignored all
 // three). Candidates are pre-sorted by stable ID so the deterministic
 // tie-break shuffle is meaningful despite map iteration order.
-func (s *CloudServer) candidateInfos() []protocol.CandidateInfo {
+func (s *CloudServer) candidateInfosLocked() []protocol.CandidateInfo {
 	cands := make([]selection.Candidate, 0, len(s.supernodes))
 	for _, sn := range s.supernodes {
 		cands = append(cands, selection.Candidate{
@@ -638,7 +639,7 @@ func (s *CloudServer) candidateInfos() []protocol.CandidateInfo {
 func (s *CloudServer) Candidates() []protocol.CandidateInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.candidateInfos()
+	return s.candidateInfosLocked()
 }
 
 // recordQoE absorbs a player's rating into the reputation book. Stall and
@@ -667,7 +668,7 @@ func (s *CloudServer) recordQoE(rep protocol.QoEReport) {
 func (s *CloudServer) broadcastCandidates() {
 	s.mu.Lock()
 	update := protocol.CandidateUpdate{
-		Candidates:      s.candidateInfos(),
+		Candidates:      s.candidateInfosLocked(),
 		CloudStreamAddr: s.Addr(),
 	}
 	players := make([]*playerConn, 0, len(s.players))
@@ -731,6 +732,7 @@ func (s *CloudServer) handleConn(conn net.Conn) {
 func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 	defer conn.Close()
 	reply := protocol.ProbeReply{Available: 1 << 15} // effectively unbounded
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
 		return
 	}
@@ -744,9 +746,11 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if protocol.WriteMessage(conn, protocol.MsgAttachReply, protocol.AttachReply{OK: true}.Marshal()) != nil {
 		return
 	}
+	conn.SetWriteDeadline(time.Time{})
 	s.mu.Lock()
 	s.fallbackLive++
 	s.mu.Unlock()
@@ -850,7 +854,7 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 	s.players[join.PlayerID] = pc
 	// Candidate ladder: registered supernodes ranked by the shared §3.2
 	// pipeline (load, capacity, live QoE score).
-	cands := s.candidateInfos()
+	cands := s.candidateInfosLocked()
 	s.mu.Unlock()
 
 	reply := protocol.JoinReply{

@@ -76,7 +76,7 @@ type FogNode struct {
 	cloud     net.Conn
 	id        uint32
 	replica   *virtualworld.Replica
-	attached  map[int32]struct{}
+	attached  map[int32]struct{} // guarded by mu
 	videoBits int64
 	frames    int64
 	probes    int64
@@ -411,6 +411,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 			f.probes++
 			f.mu.Unlock()
 			reply := protocol.ProbeReply{Available: f.available()}
+			conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
 			if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
 				return
 			}
@@ -429,6 +430,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 			if !ok {
 				reply.Reason = "at capacity"
 			}
+			conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
 			if protocol.WriteMessage(conn, protocol.MsgAttachReply, reply.Marshal()) != nil {
 				if ok {
 					f.mu.Lock()
@@ -447,7 +449,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 			return
 		}
 	}
-	conn.SetReadDeadline(time.Time{})
+	conn.SetDeadline(time.Time{}) // handshake read+write deadlines no longer apply
 	defer func() {
 		f.mu.Lock()
 		delete(f.attached, playerID)

@@ -104,10 +104,10 @@ type PlayerClient struct {
 	// before giving up. rttMs overlays the player's own probe
 	// measurements (EWMA per address), which outrank the cloud's view of
 	// network distance when ranking.
-	candidates  []protocol.CandidateInfo
-	rttMs       map[string]float64
-	cloudAddr   string // the cloud's own stream endpoint (ladder tail)
-	servingAddr string // the address currently streaming video
+	candidates  []protocol.CandidateInfo // guarded by mu
+	rttMs       map[string]float64       // guarded by mu
+	cloudAddr   string                   // the cloud's own stream endpoint (ladder tail)
+	servingAddr string                   // the address currently streaming video
 	qoeReports  int64
 
 	jitter *rng.Rand // migration backoff jitter; guarded by mu
@@ -158,16 +158,16 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("player dial cloud: %w", err)
 	}
-	p := &PlayerClient{
-		cfg:   cfg,
-		cloud: cloud,
-		level: cfg.Game.DefaultQuality,
-		rttMs: make(map[string]float64),
-		stop:  make(chan struct{}),
-	}
 	r := rng.New(cfg.Seed + uint64(cfg.PlayerID))
-	p.jitter = r.SplitNamed("migrate-jitter")
-	p.rank = r.SplitNamed("ladder-rank")
+	p := &PlayerClient{
+		cfg:    cfg,
+		cloud:  cloud,
+		level:  cfg.Game.DefaultQuality,
+		rttMs:  make(map[string]float64),
+		stop:   make(chan struct{}),
+		jitter: r.SplitNamed("migrate-jitter"),
+		rank:   r.SplitNamed("ladder-rank"),
+	}
 	join := protocol.PlayerJoin{
 		PlayerID: cfg.PlayerID,
 		GameID:   uint8(cfg.Game.ID),
@@ -191,8 +191,10 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		return nil, fmt.Errorf("player join rejected: %s %w", reply.Reason, err)
 	}
 
+	p.mu.Lock()
 	p.candidates = reply.Candidates
 	p.cloudAddr = reply.CloudStreamAddr
+	p.mu.Unlock()
 	video, err := p.attachToAny(p.ladder())
 	if err != nil {
 		cloud.Close()

@@ -144,6 +144,7 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // retain bytes must copy them.
 func (fr *FrameReader) Next() (MsgType, []byte, error) {
 	t, payload, err := ReadMessageInto(fr.r, fr.buf[:0])
+	//lint:ignore noretain the reader owns the buffer payload aliases; recycling it here IS the contract
 	fr.buf = payload[:0]
 	return t, payload, err
 }

@@ -37,7 +37,7 @@ type Rating struct {
 type Book struct {
 	mu      sync.RWMutex
 	lambda  float64
-	ratings map[int][]Rating // supernode ID -> ratings, oldest first
+	ratings map[int][]Rating // supernode ID -> ratings, oldest first; guarded by mu
 }
 
 // DefaultLambda is the default aging factor. The paper leaves λ ∈ (0,1);
@@ -170,7 +170,7 @@ func (b *Book) Ranked(candidates []int, today int) []int {
 type GlobalBook struct {
 	mu      sync.RWMutex
 	lambda  float64
-	ratings map[int][]Rating
+	ratings map[int][]Rating // guarded by mu
 }
 
 // NewGlobalBook creates a global reputation aggregator with the given aging
