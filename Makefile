@@ -55,12 +55,13 @@ bench:
 # cmd/benchjson. The file is committed so reviewers can diff allocs/op
 # across PRs, and CI uploads it as an artifact. Absolute ns/op varies by
 # machine; allocs/op and B/op are the stable regression signal.
-BENCH_WIREPATH = BenchmarkUpdateBatch|BenchmarkWriteMessage|BenchmarkAppendFrame|BenchmarkReadMessage|BenchmarkFrameReader|BenchmarkTickFanout|BenchmarkFrameStream|BenchmarkEncode|BenchmarkDecode|BenchmarkRender|BenchmarkSelectorSelect|BenchmarkCandidateLadder|BenchmarkRank
+BENCH_WIREPATH = BenchmarkUpdateBatch|BenchmarkWriteMessage|BenchmarkAppendFrame|BenchmarkReadMessage|BenchmarkFrameReader|BenchmarkTickFanout|BenchmarkFrameStream|BenchmarkEncode|BenchmarkDecode|BenchmarkRender|BenchmarkSelectorSelect|BenchmarkCandidateLadder|BenchmarkRank|BenchmarkCheckpoint
 
 bench-json:
 	$(GO) test -bench='$(BENCH_WIREPATH)' -benchmem -benchtime=2000x -run='^$$' \
 		./internal/protocol ./internal/fognet ./internal/videocodec \
 		./internal/render ./internal/fog ./internal/selection \
+		./internal/checkpoint \
 		| $(GO) run ./cmd/benchjson -o BENCH_wirepath.json
 
 chaos:

@@ -3,6 +3,16 @@
 // streams compact update batches to registered supernodes (fogsrv).
 //
 //	cloudsrv -addr 127.0.0.1:7000 -npcs 8
+//
+// With -standby it instead runs a warm standby that follows the primary's
+// checkpoint/log stream and promotes itself (epoch+1, same listen
+// address) when the primary goes silent:
+//
+//	cloudsrv -addr 127.0.0.1:7001 -standby 127.0.0.1:7000
+//
+// On SIGTERM/SIGINT a primary shuts down gracefully: it flushes a final
+// checkpoint to an attached standby, says goodbye to supernodes and
+// players through the normal send queues, and drains them before closing.
 package main
 
 import (
@@ -27,54 +37,122 @@ func main() {
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	selPolicy := flag.String("selection", "reputation", "candidate-ladder ranking policy: random | reputation | global")
 	seed := flag.Uint64("seed", 1, "ladder tie-break shuffle seed")
+	ckptEvery := flag.Int("checkpoint-every", fognet.DefaultCheckpointEvery, "ticks between checkpoints streamed to the standby")
+	standby := flag.String("standby", "", "run as warm standby following this primary address")
+	promoteAfter := flag.Duration("promote-after", fognet.DefaultPromoteAfter, "standby: silence on the primary's stream before promotion")
 	flag.Parse()
 
 	policy, err := selection.ParsePolicy(*selPolicy)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*addr, *tick, *npcs, *hbInterval, *hbMisses, *statsEvery, policy, *seed); err != nil {
+	cfg := fognet.CloudConfig{
+		Addr:              *addr,
+		TickInterval:      *tick,
+		NPCs:              *npcs,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatMisses:   *hbMisses,
+		SelectionPolicy:   policy,
+		Seed:              *seed,
+		CheckpointEvery:   *ckptEvery,
+	}
+	if *standby != "" {
+		err = runStandby(*addr, *standby, *promoteAfter, *statsEvery, cfg)
+	} else {
+		err = runPrimary(cfg, *statsEvery)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, tick time.Duration, npcs int, hbInterval time.Duration, hbMisses int, statsEvery time.Duration, policy selection.Policy, seed uint64) error {
-	cloud, err := fognet.NewCloudServer(fognet.CloudConfig{
-		Addr:              addr,
-		TickInterval:      tick,
-		NPCs:              npcs,
-		HeartbeatInterval: hbInterval,
-		HeartbeatMisses:   hbMisses,
-		SelectionPolicy:   policy,
-		Seed:              seed,
-	})
+func runPrimary(cfg fognet.CloudConfig, statsEvery time.Duration) error {
+	cloud, err := fognet.NewCloudServer(cfg)
 	if err != nil {
 		return err
 	}
-	defer cloud.Close()
-	fmt.Printf("cloudsrv: listening on %s (tick %v, %d NPCs, selection %v)\n", cloud.Addr(), tick, npcs, policy)
+	fmt.Printf("cloudsrv: listening on %s (tick %v, %d NPCs, selection %v)\n",
+		cloud.Addr(), cfg.TickInterval, cfg.NPCs, cfg.SelectionPolicy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	var ticker *time.Ticker
 	var tickCh <-chan time.Time
 	if statsEvery > 0 {
-		ticker = time.NewTicker(statsEvery)
+		ticker := time.NewTicker(statsEvery)
 		defer ticker.Stop()
 		tickCh = ticker.C
 	}
 	for {
 		select {
 		case <-sig:
-			fmt.Println("cloudsrv: shutting down")
+			fmt.Println("cloudsrv: draining (final checkpoint, goodbyes) ...")
+			cloud.Shutdown()
+			fmt.Println("cloudsrv: shut down")
 			return nil
 		case <-tickCh:
-			s := cloud.Stats()
-			fmt.Printf("cloudsrv: ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit evictions=%d departures=%d qdrops=%d qoe=%d\n",
-				s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000,
-				s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops,
-				s.Resilience.QoEReports)
+			printCloudStats(cloud)
 		}
 	}
+}
+
+func runStandby(addr, primary string, promoteAfter, statsEvery time.Duration, cfg fognet.CloudConfig) error {
+	sb, err := fognet.NewStandby(fognet.StandbyConfig{
+		Addr:         addr,
+		PrimaryAddr:  primary,
+		PromoteAfter: promoteAfter,
+		Seed:         cfg.Seed,
+		Cloud:        cfg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloudsrv: standby on %s following %s (promote after %v of silence)\n",
+		sb.Addr(), primary, promoteAfter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var tickCh <-chan time.Time
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		tickCh = ticker.C
+	}
+	promoted := false
+	for {
+		select {
+		case <-sig:
+			if srv := sb.Promoted(); srv != nil {
+				fmt.Println("cloudsrv: draining promoted server ...")
+				srv.Shutdown()
+			}
+			sb.Close()
+			fmt.Println("cloudsrv: standby shut down")
+			return nil
+		case <-tickCh:
+			if srv := sb.Promoted(); srv != nil {
+				if !promoted {
+					promoted = true
+					s := srv.Stats()
+					fmt.Printf("cloudsrv: PROMOTED — serving epoch %d from tick %d on %s\n",
+						s.Epoch, s.Tick, sb.Addr())
+				}
+				printCloudStats(srv)
+				continue
+			}
+			s := sb.Stats()
+			fmt.Printf("cloudsrv: standby epoch=%d tick=%d checkpoints=%d log=%d attaches=%d\n",
+				s.Epoch, s.LastTick, s.Checkpoints, s.LogEntries, s.Attaches)
+		}
+	}
+}
+
+func printCloudStats(cloud *fognet.CloudServer) {
+	s := cloud.Stats()
+	fmt.Printf("cloudsrv: epoch=%d ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit ckpts=%d standby=%v evictions=%d departures=%d qdrops=%d qoe=%d\n",
+		s.Epoch, s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000,
+		s.Resilience.Checkpoints, s.StandbyAttached,
+		s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops,
+		s.Resilience.QoEReports)
 }

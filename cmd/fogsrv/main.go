@@ -3,6 +3,10 @@
 // streams per-player game video on its stream address.
 //
 //	fogsrv -cloud 127.0.0.1:7000 -addr 127.0.0.1:7100 -capacity 8
+//
+// On SIGTERM/SIGINT the supernode departs gracefully: buffered player
+// actions are flushed upstream and the cloud is told goodbye, so the
+// departure is recorded as such rather than as a heartbeat eviction.
 package main
 
 import (
@@ -25,14 +29,15 @@ func main() {
 	frame := flag.Duration("frame", fognet.DefaultFrameInterval, "video frame interval")
 	dialTimeout := flag.Duration("dial-timeout", fognet.DefaultDialTimeout, "cloud dial timeout")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
+	seed := flag.Uint64("seed", 1, "reconnect-jitter seed")
 	flag.Parse()
 
-	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery); err != nil {
+	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration) error {
+func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration, seed uint64) error {
 	fog, err := fognet.NewFogNode(fognet.FogConfig{
 		Name:          name,
 		CloudAddr:     cloudAddr,
@@ -40,11 +45,11 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 		Capacity:      capacity,
 		FrameInterval: frame,
 		DialTimeout:   dialTimeout,
+		Seed:          seed,
 	})
 	if err != nil {
 		return err
 	}
-	defer fog.Close()
 	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d)\n",
 		name, fog.ID(), fog.StreamAddr(), capacity)
 
@@ -60,14 +65,16 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 	for {
 		select {
 		case <-sig:
-			fmt.Println("fogsrv: shutting down")
+			fmt.Println("fogsrv: departing (flush buffered actions, goodbye to cloud)")
+			fog.Shutdown()
+			fmt.Println("fogsrv: shut down")
 			return nil
 		case <-tickCh:
 			s := fog.Stats()
-			fmt.Printf("fogsrv %q: tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d\n",
-				name, s.ReplicaTick, s.Attached, s.Frames,
+			fmt.Printf("fogsrv %q: epoch=%d tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d resumes=%d buffered=%d\n",
+				name, s.Epoch, s.ReplicaTick, s.Attached, s.Frames,
 				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas,
-				s.Resilience.Reconnects)
+				s.Resilience.Reconnects, s.Resilience.Resumes, s.BufferedNow)
 		}
 	}
 }

@@ -15,7 +15,11 @@
 //  4. Kill whichever supernode is serving the player outright. The
 //     player's video read deadline fires and it walks the failover ladder
 //     to the surviving supernode, with the downtime accounted as stall.
-//  5. Print the resilience counters from all three tiers.
+//  5. Crash the cloud primary itself. A warm standby that has been
+//     following the checkpoint/log stream promotes itself one epoch up,
+//     and the surviving supernode and the player resume their sessions
+//     on it (MsgResume) without a full rejoin.
+//  6. Print the resilience counters from all three tiers.
 //
 // Run with:
 //
@@ -156,13 +160,61 @@ func run(seed uint64) error {
 			i+1, c.Addr, c.Load, c.Capacity, c.Score)
 	}
 
+	fmt.Println("\n--- phase 5: crash the cloud primary; warm standby takes over ---")
+	sb, err := fognet.NewStandby(fognet.StandbyConfig{
+		PrimaryAddr:  cloud.Addr(),
+		PromoteAfter: 400 * time.Millisecond,
+		Seed:         seed,
+		Cloud: fognet.CloudConfig{
+			TickInterval:      20 * time.Millisecond,
+			HeartbeatInterval: 100 * time.Millisecond,
+			HeartbeatMisses:   3,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sb.Close()
+	if !waitUntil(5*time.Second, func() bool {
+		return sb.Stats().Checkpoints >= 1
+	}) {
+		return fmt.Errorf("standby never received a checkpoint")
+	}
+	sbs := sb.Stats()
+	fmt.Printf("standby  : following on %s — absorbed %d checkpoints, %d log entries (tick %d)\n",
+		sb.Addr(), sbs.Checkpoints, sbs.LogEntries, sbs.LastTick)
+
+	cloud.Close() // crash: no goodbye, no drain, mid-tick state is lost
+	fmt.Println("cloud    : CRASHED")
+	if !waitUntil(10*time.Second, func() bool { return sb.Promoted() != nil }) {
+		return fmt.Errorf("standby never promoted")
+	}
+	promoted := sb.Promoted()
+	prs := promoted.Stats()
+	fmt.Printf("standby  : promoted after %v of silence — epoch %d, resuming from tick %d\n",
+		400*time.Millisecond, prs.Epoch, prs.Tick)
+	if !waitUntil(15*time.Second, func() bool {
+		p := promoted.Stats()
+		return p.Resilience.ResumedSupernodes >= 1 && p.Resilience.ResumedPlayers >= 1
+	}) {
+		return fmt.Errorf("sessions never resumed on the promoted standby")
+	}
+	prs = promoted.Stats()
+	fmt.Printf("standby  : sessions resumed without rejoin (supernodes=%d players=%d)\n",
+		prs.Resilience.ResumedSupernodes, prs.Resilience.ResumedPlayers)
+	fmt.Printf("%-9s: resumes=%d discarded resyncs=%d, replica tick %d on epoch %d\n",
+		now, fogs[now].Stats().Resilience.Resumes, fogs[now].Stats().Resilience.DiscardedResyncs,
+		fogs[now].Stats().ReplicaTick, fogs[now].Stats().Epoch)
+	ps = player.Stats()
+	fmt.Printf("player 1 : control-plane resumes=%d, now on epoch %d\n", ps.CtrlResumes, ps.Epoch)
+
 	fmt.Println("\n--- resilience counters ---")
-	cs = cloud.Stats()
-	fmt.Printf("cloud    : evictions=%d departures=%d heartbeats sent/acked=%d/%d queue drops=%d candidate updates=%d qoe reports=%d\n",
-		cs.Resilience.Evictions, cs.Resilience.Departures,
+	cs = promoted.Stats()
+	fmt.Printf("cloud    : epoch=%d evictions=%d departures=%d heartbeats sent/acked=%d/%d queue drops=%d candidate updates=%d qoe reports=%d resumed sn/players=%d/%d\n",
+		cs.Epoch, cs.Resilience.Evictions, cs.Resilience.Departures,
 		cs.Resilience.HeartbeatsSent, cs.Resilience.HeartbeatAcks,
 		cs.Resilience.SendQueueDrops, cs.Resilience.CandidateUpdates,
-		cs.Resilience.QoEReports)
+		cs.Resilience.QoEReports, cs.Resilience.ResumedSupernodes, cs.Resilience.ResumedPlayers)
 	for _, name := range []string{"fog-alpha", "fog-beta"} {
 		fs := fogs[name].Stats()
 		fmt.Printf("%-9s: reconnects=%d (attempts=%d) heartbeat acks=%d replica tick=%d\n",

@@ -35,6 +35,9 @@ var simulatorPkgs = map[string]bool{
 	"sim":         true,
 	"experiments": true,
 	"selection":   true,
+	// checkpoint encodes/replays the authoritative world: any wall-clock
+	// read or map-order dependence there breaks bit-identical restore.
+	"checkpoint": true,
 }
 
 // wallClockFuncs are the time package functions that read the wall clock

@@ -1,0 +1,59 @@
+package core
+
+import "sort"
+
+// StateDigest is the simulator-side analogue of checkpoint.State.Hash: an
+// FNV-1a digest over the deployment's session state in canonical order.
+// Two systems built from the same Config and driven through the same
+// protocol must agree on it at every point — it is the cheap assertion
+// that a replayed or restored run is bit-identical, without diffing the
+// whole world. Fields that are pure measurement (meters, metrics) are
+// excluded: they describe the run, not the state the run depends on.
+func (s *System) StateDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+	}
+	i64 := func(v int) { u64(uint64(int64(v))) }
+	b := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	// Players are stored densely by ID — already canonical.
+	for _, p := range s.players {
+		i64(p.ID)
+		b(p.online)
+		i64(int(p.src))
+		i64(p.supernode)
+		i64(p.cdnServer)
+		i64(p.dc)
+	}
+	// Supernode meta lives in a map; sort the IDs before folding.
+	ids := make([]int, 0, len(s.snMeta))
+	for id := range s.snMeta {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := s.snMeta[id]
+		i64(id)
+		i64(m.prevSupported)
+		i64(m.supportedThisSlot)
+	}
+	// Churn-mode arrival pool order is part of the replayable state.
+	for _, id := range s.arrivalPool {
+		i64(id)
+	}
+	i64(s.lastAssignCycle)
+	return h
+}

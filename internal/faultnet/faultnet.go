@@ -11,7 +11,10 @@
 //   - a bandwidth cap (transmission-time shaping),
 //   - probabilistic transitions into fault modes, and
 //   - explicit, test-driven mode changes (Blackhole, Stall, Reset,
-//     partitions) that apply to all wrapped connections at once.
+//     partitions) that apply to all wrapped connections at once, or — via
+//     SetAddrMode — to every current and future connection to one
+//     address, which is how a chaos test crashes a single tier (reset the
+//     primary's address, leave the standby reachable).
 //
 // All randomness comes from internal/rng seeded by Profile.Seed: the
 // sequence of fault decisions is reproducible bit-for-bit, which is what
@@ -75,6 +78,11 @@ func (m Mode) String() string {
 // ErrReset is returned by reads and writes on a reset connection.
 var ErrReset = errors.New("faultnet: connection reset")
 
+// ErrRefused is returned by Dial for an address forced into Reset mode —
+// the synthetic equivalent of a crashed process whose port now answers
+// with RST.
+var ErrRefused = errors.New("faultnet: connection refused")
+
 // timeoutError implements net.Error with Timeout() == true, matching what
 // deadline-aware callers expect from a real net.Conn.
 type timeoutError struct{}
@@ -120,6 +128,9 @@ type Stats struct {
 	Blackholes int64
 	// DelayedMs is the cumulative injected delay (latency + bandwidth).
 	DelayedMs int64
+	// RefusedDials counts dials synthetically refused because the target
+	// address was in Reset mode (a "crashed" endpoint).
+	RefusedDials int64
 }
 
 // Injector wraps connections and injects the Profile's faults. All wrapped
@@ -130,40 +141,94 @@ type Injector struct {
 	profile Profile
 	r       *rng.Rand
 	conns   map[*Conn]struct{}
-	stats   Stats
+	// addrModes holds per-address fault overrides keyed by dial target /
+	// remote address; guarded by mu. Healthy entries are removed.
+	addrModes map[string]Mode
+	stats     Stats
 }
 
 // NewInjector builds an Injector for the profile.
 func NewInjector(p Profile) *Injector {
 	return &Injector{
-		profile: p,
-		r:       rng.New(p.Seed),
-		conns:   make(map[*Conn]struct{}),
+		profile:   p,
+		r:         rng.New(p.Seed),
+		conns:     make(map[*Conn]struct{}),
+		addrModes: make(map[string]Mode),
 	}
 }
 
-// WrapConn wraps an established connection.
+// WrapConn wraps an established connection. The connection inherits any
+// per-address fault mode registered for its remote address.
 func (in *Injector) WrapConn(c net.Conn) *Conn {
+	addr := ""
+	if ra := c.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	return in.wrap(c, addr)
+}
+
+func (in *Injector) wrap(c net.Conn, addr string) *Conn {
 	fc := &Conn{
 		inner:  c,
 		inj:    in,
+		addr:   addr,
 		healCh: make(chan struct{}),
 		closed: make(chan struct{}),
 	}
 	in.mu.Lock()
 	in.conns[fc] = struct{}{}
 	in.stats.Conns++
+	m := in.addrModes[addr]
 	in.mu.Unlock()
+	if m != Healthy {
+		fc.SetMode(m)
+	}
 	return fc
 }
 
-// Dial dials through the injector: the returned connection is wrapped.
+// Dial dials through the injector: the returned connection is wrapped and
+// tagged with the dialed address, so SetAddrMode can target it later. A
+// dial to an address currently in Reset mode is refused synthetically —
+// the caller sees a crashed endpoint without any network round trip; an
+// address in Blackhole or Stall mode yields a connection already in that
+// mode (a partition that ate the SYN).
 func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	in.mu.Lock()
+	m := in.addrModes[addr]
+	if m == Reset {
+		in.stats.RefusedDials++
+		in.mu.Unlock()
+		return nil, ErrRefused
+	}
+	in.mu.Unlock()
 	c, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return in.WrapConn(c), nil
+	return in.wrap(c, addr), nil
+}
+
+// SetAddrMode forces every connection to addr — current and future —
+// into the mode. Reset crashes the endpoint: existing connections die and
+// new dials are refused until the address is healed with
+// SetAddrMode(addr, Healthy). Blackhole/Stall partition it.
+func (in *Injector) SetAddrMode(addr string, m Mode) {
+	in.mu.Lock()
+	if m == Healthy {
+		delete(in.addrModes, addr)
+	} else {
+		in.addrModes[addr] = m
+	}
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		if c.addr == addr {
+			conns = append(conns, c)
+		}
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.SetMode(m)
+	}
 }
 
 // WrapListener wraps a listener so every accepted connection is injected.
@@ -274,6 +339,7 @@ func (in *Injector) forget(c *Conn) {
 type Conn struct {
 	inner net.Conn
 	inj   *Injector
+	addr  string // dial target / remote address; immutable after wrap
 
 	mu        sync.Mutex
 	mode      Mode

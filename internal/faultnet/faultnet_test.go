@@ -291,6 +291,123 @@ func TestCloseWakesBlockedOperations(t *testing.T) {
 	}
 }
 
+// TestAddrModeCrashesOneEndpoint exercises the per-address fault plane:
+// resetting an address kills its existing connections and refuses new
+// dials, while a second address on the same injector stays reachable —
+// the exact shape of "crash the primary, leave the standby up".
+func TestAddrModeCrashesOneEndpoint(t *testing.T) {
+	in := NewInjector(Profile{Seed: 20})
+	serve := func() net.Listener {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go func() {
+			for {
+				c, aerr := ln.Accept()
+				if aerr != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					buf := make([]byte, 64)
+					for {
+						n, rerr := c.Read(buf)
+						if rerr != nil {
+							return
+						}
+						c.Write(buf[:n])
+					}
+				}(c)
+			}
+		}()
+		return ln
+	}
+	primary, standby := serve(), serve()
+
+	pc, err := in.Dial("tcp", primary.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	if _, err = pc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	in.SetAddrMode(primary.Addr().String(), Reset)
+	// The established connection dies...
+	if _, err = pc.Write([]byte("x")); err != ErrReset {
+		t.Errorf("write after crash = %v, want ErrReset", err)
+	}
+	// ...and new dials are refused without touching the network.
+	if _, err = in.Dial("tcp", primary.Addr().String(), time.Second); err != ErrRefused {
+		t.Errorf("dial to crashed addr = %v, want ErrRefused", err)
+	}
+	// The standby's address is untouched.
+	sc, err := in.Dial("tcp", standby.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("standby unreachable: %v", err)
+	}
+	defer sc.Close()
+	if _, err = sc.Write([]byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	sc.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 2)
+	if _, err = sc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := in.Stats(); s.RefusedDials != 1 {
+		t.Errorf("RefusedDials = %d, want 1", s.RefusedDials)
+	}
+}
+
+// TestAddrModeHealRestoresDials verifies that healing a crashed address
+// lets dials through again, and that a partition mode (Blackhole) applies
+// to the connection a dial to that address returns.
+func TestAddrModeHealRestoresDials(t *testing.T) {
+	in := NewInjector(Profile{Seed: 21})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, aerr := ln.Accept()
+			if aerr != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	addr := ln.Addr().String()
+
+	in.SetAddrMode(addr, Reset)
+	if _, err = in.Dial("tcp", addr, time.Second); err != ErrRefused {
+		t.Fatalf("dial during crash = %v, want ErrRefused", err)
+	}
+	in.SetAddrMode(addr, Healthy)
+	c, err := in.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c.Close()
+
+	// A partitioned address still accepts the dial, but the resulting
+	// connection is born blackholed: writes vanish, reads stall.
+	in.SetAddrMode(addr, Blackhole)
+	bc, err := in.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial to partitioned addr: %v", err)
+	}
+	defer bc.Close()
+	if fc, ok := bc.(*Conn); !ok || fc.Mode() != Blackhole {
+		t.Errorf("dialed conn mode = %v, want Blackhole", bc.(*Conn).Mode())
+	}
+}
+
 // TestCoalescedWritePassesThroughShaping covers the cloud's coalescing
 // writer: several protocol frames appended into one buffer and flushed as
 // a single Write must cross an injected link (latency + bandwidth shaping)

@@ -1,0 +1,34 @@
+package fognet
+
+import (
+	"time"
+
+	"cloudfog/internal/rng"
+)
+
+// Failover retry defaults shared by the player's migration ladder and
+// control-plane resume. The cap matters: an uncapped doubling backoff
+// turns a minute-long outage into a client that is effectively gone.
+const (
+	DefaultMigrateBackoff    = 50 * time.Millisecond
+	DefaultMigrateBackoffMax = 2 * time.Second
+)
+
+// nextBackoff advances one step of a jittered, capped exponential
+// backoff: it returns the sleep for the current attempt (the base with
+// ±50% deterministic jitter from the caller's split RNG stream) and the
+// doubled base for the next attempt, clamped to max. Every redial loop
+// in the package — fog reconnect, player migration, player resume,
+// standby redial — shares this shape so none of them can reintroduce an
+// uncapped doubling.
+func nextBackoff(j *rng.Rand, cur, max time.Duration) (sleep, next time.Duration) {
+	if cur > max {
+		cur = max
+	}
+	sleep = time.Duration(j.Uniform(0.5, 1.5) * float64(cur))
+	next = cur * 2
+	if next > max {
+		next = max
+	}
+	return sleep, next
+}

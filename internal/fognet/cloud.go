@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cloudfog/internal/checkpoint"
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
 	"cloudfog/internal/reputation"
@@ -42,6 +43,11 @@ import (
 
 // DefaultTickInterval is the world tick period (20 Hz).
 const DefaultTickInterval = 50 * time.Millisecond
+
+// DefaultCheckpointEvery is the checkpoint cadence in ticks: with the
+// default 20 Hz tick the standby receives a full world image once a
+// second, and the per-tick delta log covers everything in between.
+const DefaultCheckpointEvery = 20
 
 // Liveness and robustness defaults. Tests lower the intervals.
 const (
@@ -100,12 +106,38 @@ type CloudConfig struct {
 	// Seed drives the deterministic tie-break shuffle of the ladder
 	// ranking.
 	Seed uint64
+	// Epoch is the authority epoch this server ticks in. Zero means 1 (a
+	// fresh primary); a promoted standby passes its checkpoint epoch + 1
+	// so every client can tell a failover happened from the stamps alone.
+	Epoch uint64
+	// CheckpointEvery is the checkpoint cadence in ticks. Defaults to
+	// DefaultCheckpointEvery. Checkpoints flow to the attached standby;
+	// without one, none are encoded.
+	CheckpointEvery int
+	// Listener, when set, is used instead of listening on Addr: a
+	// promoted standby hands over the listener it already advertised, so
+	// resuming clients land on the address they were told before the
+	// crash.
+	Listener net.Listener
+	// Restore, when set, seeds the server from a recovered checkpoint
+	// instead of an empty world: entities, tick, ID allocator, player
+	// sessions, reputation book, and RNG stream all resume exactly where
+	// the checkpoint (plus replayed delta log) left them.
+	Restore *checkpoint.State
 }
 
 // CloudServer is the authoritative game-state tier.
 type CloudServer struct {
 	cfg      CloudConfig
 	listener net.Listener
+	// epoch is the authority epoch; immutable for the server's lifetime
+	// (a failover starts a new CloudServer with a higher epoch).
+	epoch uint64
+	// restoredHash / restoredTick fingerprint the canonical checkpoint
+	// state this server was restored from (zero when seeded fresh);
+	// immutable after construction.
+	restoredHash uint64
+	restoredTick uint64
 
 	mu            sync.Mutex
 	world         *virtualworld.World
@@ -119,6 +151,29 @@ type CloudServer struct {
 	fallbackLive  int
 	hbSeq         uint32
 	resil         CloudResilience
+
+	// standby is the attached warm standby, fed through the same bounded
+	// queue + coalescing writer machinery as a supernode; standbyAddr is
+	// what it advertised, stamped into replies so clients know where to
+	// resume. Both guarded by mu.
+	standby     *supernodeConn
+	standbyAddr string
+	// sessionDeltas are membership changes (avatar spawns and removals)
+	// accumulated since the last tick, folded into that tick's fan-out
+	// and delta-log entry so replicas and the standby track joins and
+	// departures exactly. Guarded by mu.
+	sessionDeltas []virtualworld.Delta
+	// resumable holds player IDs recovered from a checkpoint that have
+	// not reconnected yet: their avatars live in the restored world and
+	// MsgResume re-admits them without a rejoin. Guarded by mu.
+	resumable map[int32]bool
+	// ckpt is the reused checkpoint capture scratch: state is gathered
+	// in place so a checkpoint tick allocates nothing beyond first-time
+	// growth. Guarded by mu.
+	ckpt checkpoint.State
+	// logEntry is the delta-log encode scratch; only the tick loop
+	// touches it.
+	logEntry checkpoint.LogEntry
 
 	// Hot-path counters live outside mu: the per-supernode writer
 	// goroutines and the non-blocking enqueue bump them on every tick
@@ -160,6 +215,18 @@ type CloudResilience struct {
 	CandidateUpdates int64
 	// QoEReports counts player ratings absorbed into the reputation book.
 	QoEReports int64
+	// Checkpoints counts full world checkpoints encoded for the standby.
+	Checkpoints int64
+	// StandbyAttaches counts warm standbys that registered.
+	StandbyAttaches int64
+	// ResumedSupernodes / ResumedPlayers count MsgResume re-admissions —
+	// clients that survived a failover without a full rejoin.
+	ResumedSupernodes int64
+	ResumedPlayers    int64
+	// ForwardedActions counts player inputs that arrived via a supernode
+	// (buffered at the fog tier during a cloud outage and flushed
+	// upstream after recovery).
+	ForwardedActions int64
 }
 
 // sharedPayload is a reference-counted pooled payload fanned out to many
@@ -252,31 +319,73 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	if cfg.SelectionPolicy == 0 {
 		cfg.SelectionPolicy = selection.PolicyReputation
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("cloud listen: %w", err)
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("cloud listen: %w", err)
+		}
+	}
+	world := virtualworld.New(cfg.WorldWidth, cfg.WorldHeight)
 	book := reputation.NewGlobalBook(reputation.DefaultLambda)
+	rankRand := rng.New(cfg.Seed).SplitNamed("cloud-ladder")
+	addrIDs := make(map[string]int)
+	resumable := make(map[int32]bool)
+	var restoredHash, restoredTick uint64
+	if cfg.Restore != nil {
+		// Resume the recovered authority exactly where the checkpoint
+		// (plus any replayed delta log) left it: same entities, tick, ID
+		// allocator, sessions, reputation history, and RNG position.
+		world = cfg.Restore.RestoreWorld()
+		book = reputation.RestoreGlobalBook(cfg.Restore.Book)
+		rankRand = rng.Restore(cfg.Restore.RNG)
+		for _, a := range cfg.Restore.AddrIDs {
+			addrIDs[a.Addr] = int(a.ID)
+		}
+		for _, id := range cfg.Restore.Sessions {
+			resumable[id] = true
+		}
+		// Fingerprint the restored state (cfg.Restore must be canonical):
+		// any independent replay of the same checkpoint+log must land on
+		// this exact hash, and failover tests assert that it does.
+		restoredHash = checkpoint.Hash(cfg.Restore.AppendTo(nil))
+		restoredTick = cfg.Restore.World.Tick
+	} else {
+		width, height := world.Size()
+		for i := 0; i < cfg.NPCs; i++ {
+			world.SpawnNPC(
+				width*float64(i%4+1)/5,
+				height*float64(i/4+1)/5,
+			)
+		}
+	}
 	s := &CloudServer{
-		cfg:        cfg,
-		listener:   ln,
-		world:      virtualworld.New(cfg.WorldWidth, cfg.WorldHeight),
-		supernodes: make(map[uint32]*supernodeConn),
-		players:    make(map[int32]*playerConn),
-		nextSNID:   1,
-		book:       book,
-		addrIDs:    make(map[string]int),
+		cfg:          cfg,
+		listener:     ln,
+		epoch:        cfg.Epoch,
+		restoredHash: restoredHash,
+		restoredTick: restoredTick,
+		world:        world,
+		supernodes:   make(map[uint32]*supernodeConn),
+		players:      make(map[int32]*playerConn),
+		resumable:    resumable,
+		nextSNID:     1,
+		book:         book,
+		addrIDs:      addrIDs,
+		// Address IDs are allocated densely and never freed, so the
+		// restored allocator position is exactly the table size.
+		nextAddrID: len(addrIDs),
 		ranker:     selection.PolicyRanker{Policy: cfg.SelectionPolicy, Scorer: optimisticScorer{book}},
-		rankRand:   rng.New(cfg.Seed).SplitNamed("cloud-ladder"),
+		rankRand:   rankRand,
 		started:    time.Now(),
 		stop:       make(chan struct{}),
-	}
-	width, height := s.world.Size()
-	for i := 0; i < cfg.NPCs; i++ {
-		s.world.SpawnNPC(
-			width*float64(i%4+1)/5,
-			height*float64(i/4+1)/5,
-		)
 	}
 	s.wg.Add(3)
 	go s.acceptLoop()
@@ -298,9 +407,12 @@ func (s *CloudServer) Close() error {
 	close(s.stop)
 	err := s.listener.Close()
 	s.mu.Lock()
-	sns := make([]*supernodeConn, 0, len(s.supernodes))
+	sns := make([]*supernodeConn, 0, len(s.supernodes)+1)
 	for _, sn := range s.supernodes {
 		sns = append(sns, sn)
+	}
+	if s.standby != nil {
+		sns = append(sns, s.standby)
 	}
 	for _, p := range s.players {
 		p.conn.Close()
@@ -311,6 +423,72 @@ func (s *CloudServer) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown is the graceful variant of Close: it flushes a final
+// checkpoint to the standby, says goodbye to every supernode and player,
+// and gives the writer queues one WriteTimeout to drain before tearing
+// the sockets down. Safe to call more than once; later calls fall
+// through to Close.
+func (s *CloudServer) Shutdown() error {
+	select {
+	case <-s.stop:
+		return nil // already closed
+	default:
+	}
+	s.mu.Lock()
+	standby := s.standby
+	var ckpt *sharedPayload
+	if standby != nil {
+		ckpt = s.encodeCheckpointLocked(1)
+	}
+	sns := make([]*supernodeConn, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		sns = append(sns, sn)
+	}
+	players := make([]*playerConn, 0, len(s.players))
+	for _, p := range s.players {
+		players = append(players, p)
+	}
+	s.mu.Unlock()
+
+	if standby != nil {
+		s.enqueue(standby, outMsg{typ: protocol.MsgCheckpoint, payload: ckpt.buf.B, shared: ckpt})
+	}
+	if len(sns) > 0 {
+		// An empty-payload Bye per supernode through the normal queues,
+		// so it lands after anything already in flight.
+		for _, sn := range sns {
+			s.enqueue(sn, outMsg{typ: protocol.MsgBye})
+		}
+	}
+	for _, p := range players {
+		p.sendMu.Lock()
+		p.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		protocol.WriteMessage(p.conn, protocol.MsgBye, nil)
+		p.conn.SetWriteDeadline(time.Time{})
+		p.sendMu.Unlock()
+	}
+	// Drain: wait (bounded) for the coalescing writers to flush what was
+	// queued above before closing their sockets out from under them.
+	deadline := time.Now().Add(s.cfg.WriteTimeout)
+	for time.Now().Before(deadline) {
+		busy := false
+		if standby != nil && len(standby.sendQ) > 0 {
+			busy = true
+		}
+		for _, sn := range sns {
+			if len(sn.sendQ) > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.Close()
 }
 
 // shutdown stops the supernode's writer and closes its connection; safe to
@@ -324,6 +502,19 @@ func (sn *supernodeConn) shutdown() {
 type CloudStats struct {
 	// Ticks is how many world ticks ran.
 	Ticks int64
+	// Tick is the authoritative world tick (it starts past zero on a
+	// restored server).
+	Tick uint64
+	// Epoch is the authority epoch this server ticks in.
+	Epoch uint64
+	// StandbyAttached reports whether a warm standby is following.
+	StandbyAttached bool
+	// RestoredHash / RestoredTick fingerprint the canonical checkpoint
+	// state this server was restored from; zero when seeded fresh. Any
+	// independent replay of the same checkpoint+log must reproduce
+	// RestoredHash exactly.
+	RestoredHash uint64
+	RestoredTick uint64
 	// UpdateBits is the total update-stream egress (the Λ traffic).
 	UpdateBits int64
 	// Supernodes is the number of registered supernodes.
@@ -351,6 +542,11 @@ func (s *CloudServer) Stats() CloudStats {
 	resil.SendQueueDrops = s.queueDrops.Load()
 	return CloudStats{
 		Ticks:           s.ticks,
+		Tick:            s.world.Tick(),
+		Epoch:           s.epoch,
+		StandbyAttached: s.standby != nil,
+		RestoredHash:    s.restoredHash,
+		RestoredTick:    s.restoredTick,
 		UpdateBits:      s.updateBits.Load(),
 		Supernodes:      len(s.supernodes),
 		Players:         len(s.players),
@@ -397,13 +593,45 @@ func (s *CloudServer) tickOnce() {
 	actions := s.pending
 	s.pending = nil
 	deltas := s.world.Step(actions)
+	if len(s.sessionDeltas) > 0 {
+		// Fold membership changes (avatar spawns, departures) into the
+		// tick's delta stream so replicas and the standby's log both see
+		// them; Step's own deltas follow and overwrite where they overlap.
+		deltas = append(s.sessionDeltas, deltas...)
+		s.sessionDeltas = s.sessionDeltas[:0]
+	}
 	s.ticks++
 	tick := s.world.Tick()
+	nextID := s.world.NextID()
 	sns := make([]*supernodeConn, 0, len(s.supernodes))
 	for _, sn := range s.supernodes {
 		sns = append(sns, sn)
 	}
+	standby := s.standby
+	var ckpt *sharedPayload
+	if standby != nil && s.ticks%int64(s.cfg.CheckpointEvery) == 0 {
+		// Capture right after Step, while no actions are pending: the
+		// checkpoint is a clean tick boundary.
+		ckpt = s.encodeCheckpointLocked(1)
+	}
 	s.mu.Unlock()
+
+	if standby != nil {
+		// One delta-log entry per tick, even when empty: the entry stream
+		// doubles as the liveness signal the standby's promotion timer
+		// watches.
+		s.logEntry.Epoch = s.epoch
+		s.logEntry.Tick = tick
+		s.logEntry.NextID = nextID
+		s.logEntry.Deltas = deltas
+		lp := newSharedPayload(1)
+		lp.buf.B = s.logEntry.AppendTo(lp.buf.B[:0])
+		s.logEntry.Deltas = nil
+		s.enqueue(standby, outMsg{typ: protocol.MsgLogEntry, payload: lp.buf.B, shared: lp})
+		if ckpt != nil {
+			s.enqueue(standby, outMsg{typ: protocol.MsgCheckpoint, payload: ckpt.buf.B, shared: ckpt})
+		}
+	}
 
 	if len(deltas) == 0 || len(sns) == 0 {
 		return
@@ -411,7 +639,7 @@ func (s *CloudServer) tickOnce() {
 	// Encode the batch once into a pooled, reference-counted buffer shared
 	// by every supernode queue: one encode per tick regardless of fan-out
 	// width, and the buffer returns to the pool after the last flush.
-	batch := protocol.UpdateBatch{Tick: tick, Deltas: deltas}
+	batch := protocol.UpdateBatch{Epoch: s.epoch, Tick: tick, Deltas: deltas}
 	sp := newSharedPayload(len(sns))
 	sp.buf.B = batch.AppendTo(sp.buf.B[:0])
 	for _, sn := range sns {
@@ -420,6 +648,39 @@ func (s *CloudServer) tickOnce() {
 		// fan-out.
 		s.enqueue(sn, outMsg{typ: protocol.MsgUpdateBatch, payload: sp.buf.B, shared: sp})
 	}
+}
+
+// encodeCheckpointLocked captures the full authoritative state — world,
+// ID allocator, player sessions, address→reputation-ID table, QoE book,
+// and ladder RNG — into the reused checkpoint scratch and encodes it
+// into a fresh shared payload armed for refs readers. Caller holds mu.
+func (s *CloudServer) encodeCheckpointLocked(refs int) *sharedPayload {
+	st := &s.ckpt
+	st.Epoch = s.epoch
+	s.world.SnapshotInto(&st.World)
+	st.NextID = s.world.NextID()
+	st.Sessions = st.Sessions[:0]
+	for id := range s.players {
+		st.Sessions = append(st.Sessions, id)
+	}
+	for id := range s.resumable {
+		// Sessions recovered from the previous epoch that have not
+		// resumed yet stay resumable across chained failovers.
+		if _, live := s.players[id]; !live {
+			st.Sessions = append(st.Sessions, id)
+		}
+	}
+	st.AddrIDs = st.AddrIDs[:0]
+	for addr, id := range s.addrIDs {
+		st.AddrIDs = append(st.AddrIDs, checkpoint.AddrID{Addr: addr, ID: int32(id)})
+	}
+	s.book.StateInto(&st.Book)
+	st.RNG = s.rankRand.State()
+	st.Canonicalize()
+	s.resil.Checkpoints++
+	sp := newSharedPayload(refs)
+	sp.buf.B = st.AppendTo(sp.buf.B[:0])
+	return sp
 }
 
 // enqueue offers a message to the supernode's bounded send queue without
@@ -670,10 +931,15 @@ func (s *CloudServer) broadcastCandidates() {
 	update := protocol.CandidateUpdate{
 		Candidates:      s.candidateInfosLocked(),
 		CloudStreamAddr: s.Addr(),
+		StandbyAddr:     s.standbyAddr,
 	}
 	players := make([]*playerConn, 0, len(s.players))
 	for _, p := range s.players {
 		players = append(players, p)
+	}
+	sns := make([]*supernodeConn, 0, len(s.supernodes))
+	for _, sn := range s.supernodes {
+		sns = append(sns, sn)
 	}
 	s.mu.Unlock()
 	// One pooled buffer holds the framed update for every player; the
@@ -693,6 +959,18 @@ func (s *CloudServer) broadcastCandidates() {
 		p.sendMu.Unlock()
 		if err == nil {
 			sent++
+		}
+	}
+	// Supernodes get the same update through their coalescing queues —
+	// they only care about StandbyAddr (the failover rung their own
+	// reconnect ladder needs), but a stale ladder is how a supernode ends
+	// up orphaned after a failover, so keep them current too.
+	if len(sns) > 0 {
+		update.Candidates = nil // framed fresh: candidates are for players
+		sp := newSharedPayload(len(sns))
+		sp.buf.B = update.AppendTo(sp.buf.B[:0])
+		for _, sn := range sns {
+			s.enqueue(sn, outMsg{typ: protocol.MsgCandidateUpdate, payload: sp.buf.B, shared: sp})
 		}
 	}
 	s.mu.Lock()
@@ -717,6 +995,10 @@ func (s *CloudServer) handleConn(conn net.Conn) {
 		s.serveSupernode(conn, payload)
 	case protocol.MsgPlayerJoin:
 		s.servePlayer(conn, payload)
+	case protocol.MsgStandbyHello:
+		s.serveStandby(conn, payload)
+	case protocol.MsgResume:
+		s.serveResume(conn, payload)
 	case protocol.MsgProbe:
 		// Fallback streaming session: the cloud itself renders for
 		// players no supernode accepted. The cloud never refuses —
@@ -725,6 +1007,127 @@ func (s *CloudServer) handleConn(conn net.Conn) {
 	default:
 		conn.Close()
 	}
+}
+
+// serveStandby attaches a warm standby: it gets an immediate full
+// checkpoint, then every tick's delta-log entry (and periodic fresh
+// checkpoints) through the same bounded-queue coalescing writer a
+// supernode uses. A newer standby replaces an older one.
+func (s *CloudServer) serveStandby(conn net.Conn, payload []byte) {
+	hello, err := protocol.UnmarshalStandbyHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	sb := &supernodeConn{
+		name:       "standby",
+		streamAddr: hello.Addr,
+		conn:       conn,
+		sendQ:      make(chan outMsg, s.cfg.SendQueueLen),
+		done:       make(chan struct{}),
+	}
+	s.mu.Lock()
+	prev := s.standby
+	s.standby = sb
+	s.standbyAddr = hello.Addr
+	s.resil.StandbyAttaches++
+	// Seed the follower inside the same critical section that installs
+	// it: the queue is empty, so the checkpoint is guaranteed to precede
+	// any log entry the tick loop enqueues afterwards.
+	ckpt := s.encodeCheckpointLocked(1)
+	sb.sendQ <- outMsg{typ: protocol.MsgCheckpoint, payload: ckpt.buf.B, shared: ckpt}
+	s.mu.Unlock()
+	if prev != nil {
+		prev.shutdown()
+	}
+	s.wg.Add(1)
+	go s.snWriter(sb)
+	// Everyone's failover address just changed.
+	s.broadcastCandidates()
+
+	// The standby sends nothing in steady state; the read blocks until
+	// the follower drops, which is how the primary notices it is alone
+	// again.
+	fr := protocol.NewFrameReader(conn)
+	for {
+		if _, _, rerr := fr.Next(); rerr != nil {
+			break
+		}
+	}
+	s.mu.Lock()
+	if s.standby == sb {
+		s.standby = nil
+		s.standbyAddr = ""
+	}
+	s.mu.Unlock()
+	sb.shutdown()
+	s.broadcastCandidates()
+}
+
+// serveResume dispatches an epoch-stamped session resumption — the
+// post-failover path that lets supernodes and players continue on a
+// promoted standby without a full rejoin.
+func (s *CloudServer) serveResume(conn net.Conn, payload []byte) {
+	req, err := protocol.UnmarshalResume(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch req.Kind {
+	case protocol.ResumeSupernode:
+		s.resumeSupernode(conn, req)
+	case protocol.ResumePlayer:
+		s.resumePlayer(conn, req)
+	default:
+		conn.Close()
+	}
+}
+
+// resumeSupernode re-admits a supernode after a failover: it is
+// registered like a fresh one, but the reply tells it the new epoch and
+// authoritative tick and carries a full snapshot to reseed its replica.
+// Discard is set when the supernode's replica ran ahead of the restored
+// history (ticks the crashed primary computed but never checkpointed or
+// logged) — those ticks are authoritatively gone.
+func (s *CloudServer) resumeSupernode(conn net.Conn, req protocol.Resume) {
+	s.mu.Lock()
+	sn := &supernodeConn{
+		id:         s.nextSNID,
+		name:       req.Name,
+		streamAddr: req.StreamAddr,
+		capacity:   req.Capacity,
+		conn:       conn,
+		sendQ:      make(chan outMsg, s.cfg.SendQueueLen),
+		done:       make(chan struct{}),
+	}
+	s.nextSNID++
+	s.supernodes[sn.id] = sn
+	snap := s.world.Snapshot()
+	reply := protocol.ResumeReply{
+		OK:              true,
+		Discard:         req.Epoch != s.epoch && req.Tick > snap.Tick,
+		Epoch:           s.epoch,
+		Tick:            snap.Tick,
+		SupernodeID:     sn.id,
+		HasSnapshot:     true,
+		Snapshot:        snap,
+		CloudStreamAddr: s.Addr(),
+		StandbyAddr:     s.standbyAddr,
+	}
+	s.resil.ResumedSupernodes++
+	s.mu.Unlock()
+
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := protocol.WriteMessage(conn, protocol.MsgResumeReply, reply.Marshal())
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		s.unregisterSupernode(sn, false)
+		return
+	}
+	s.broadcastCandidates()
+	s.wg.Add(1)
+	go s.snWriter(sn)
+	s.snReadLoop(sn, conn)
 }
 
 // serveFallbackStream answers the probe and runs a cloud-rendered video
@@ -760,7 +1163,20 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	runVideoSession(conn, attach.PlayerID, game.QualityLevel(attach.QualityLevel),
-		DefaultFrameInterval, s.cfg.WriteTimeout, s, cloudFallbackCounters{s}, s.stop, &s.wg)
+		DefaultFrameInterval, s.cfg.WriteTimeout, s, cloudFallbackCounters{s}, s, s.stop, &s.wg)
+}
+
+// submitAction implements actionSink for cloud-fallback video sessions:
+// the cloud is the authority, so rerouted inputs go straight into the
+// pending queue (the video-session reader already verified the sender).
+func (s *CloudServer) submitAction(a virtualworld.Action) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.world.Avatar(a.Player) == nil {
+		return false
+	}
+	s.pending = append(s.pending, a)
+	return true
 }
 
 // currentSnapshot implements snapshotSource over the authoritative world.
@@ -799,7 +1215,12 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 	}
 	s.nextSNID++
 	s.supernodes[sn.id] = sn
-	welcome := protocol.SupernodeWelcome{SupernodeID: sn.id, Snapshot: s.world.Snapshot()}
+	welcome := protocol.SupernodeWelcome{
+		SupernodeID: sn.id,
+		Epoch:       s.epoch,
+		StandbyAddr: s.standbyAddr,
+		Snapshot:    s.world.Snapshot(),
+	}
 	s.mu.Unlock()
 
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -813,31 +1234,55 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 	s.broadcastCandidates()
 	s.wg.Add(1)
 	go s.snWriter(sn)
+	s.snReadLoop(sn, conn)
+}
 
-	// Read loop: heartbeat acks flow back here; anything else is ignored.
-	// A read error means the supernode left or was evicted. The reader
-	// reuses one buffer per connection; acks are decoded before the next
-	// read, so nothing aliases it across iterations.
+// snReadLoop is the shared supernode read loop: heartbeat acks flow back
+// here, along with player actions the supernode buffered and forwarded
+// during a cloud outage. A read error means the supernode left or was
+// evicted. The reader reuses one buffer per connection; every message is
+// decoded into owned values before the next read.
+func (s *CloudServer) snReadLoop(sn *supernodeConn, conn net.Conn) {
 	fr := protocol.NewFrameReader(conn)
+readLoop:
 	for {
 		typ, payload, rerr := fr.Next()
 		if rerr != nil {
 			break
 		}
-		if typ != protocol.MsgHeartbeatAck {
-			continue
+		switch typ {
+		case protocol.MsgHeartbeatAck:
+			ack, aerr := protocol.UnmarshalHeartbeatAck(payload)
+			if aerr != nil {
+				continue
+			}
+			s.mu.Lock()
+			sn.missed = 0
+			// The ack doubles as a load report: the attached-player count
+			// feeds the availability sort of the candidate ladder.
+			sn.lastAttached = int(ack.Attached)
+			s.resil.HeartbeatAcks++
+			s.mu.Unlock()
+		case protocol.MsgAction:
+			// A registered supernode relays inputs its players could not
+			// deliver directly (buffered through the outage window). The
+			// supernode is a trusted tier, but the action must still name
+			// an admitted avatar.
+			am, aerr := protocol.UnmarshalActionMsg(payload)
+			if aerr != nil {
+				continue
+			}
+			s.mu.Lock()
+			if s.world.Avatar(am.Action.Player) != nil {
+				s.pending = append(s.pending, am.Action)
+				s.resil.ForwardedActions++
+			}
+			s.mu.Unlock()
+		case protocol.MsgBye:
+			// Graceful supernode departure (fogsrv SIGTERM): record it
+			// now instead of waiting for the socket to die.
+			break readLoop
 		}
-		ack, aerr := protocol.UnmarshalHeartbeatAck(payload)
-		if aerr != nil {
-			continue
-		}
-		s.mu.Lock()
-		sn.missed = 0
-		// The ack doubles as a load report: the attached-player count
-		// feeds the availability sort of the candidate ladder.
-		sn.lastAttached = int(ack.Attached)
-		s.resil.HeartbeatAcks++
-		s.mu.Unlock()
 	}
 	s.unregisterSupernode(sn, false)
 }
@@ -850,17 +1295,30 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 	}
 	pc := &playerConn{conn: conn}
 	s.mu.Lock()
-	s.world.SpawnAvatar(int(join.PlayerID), join.SpawnX, join.SpawnY)
+	av := s.world.SpawnAvatar(int(join.PlayerID), join.SpawnX, join.SpawnY)
+	// The spawn is a membership change the next tick's delta stream (and
+	// the standby's log) must carry.
+	s.sessionDeltas = append(s.sessionDeltas, virtualworld.Delta{ID: av.ID, Entity: *av})
+	old := s.players[join.PlayerID]
 	s.players[join.PlayerID] = pc
+	delete(s.resumable, join.PlayerID) // a full join supersedes any resumable claim
 	// Candidate ladder: registered supernodes ranked by the shared §3.2
 	// pipeline (load, capacity, live QoE score).
 	cands := s.candidateInfosLocked()
+	tick := s.world.Tick()
+	standbyAddr := s.standbyAddr
 	s.mu.Unlock()
+	if old != nil && old != pc {
+		old.conn.Close()
+	}
 
 	reply := protocol.JoinReply{
 		OK:              true,
+		Epoch:           s.epoch,
+		Tick:            tick,
 		Candidates:      cands,
 		CloudStreamAddr: s.Addr(),
+		StandbyAddr:     standbyAddr,
 	}
 	pc.sendMu.Lock()
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -871,10 +1329,81 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 		s.dropPlayer(join.PlayerID, pc)
 		return
 	}
+	s.playerLoop(conn, join.PlayerID, pc)
+}
 
-	// Action loop: the player streams inputs until it leaves. The reader
-	// reuses one buffer per connection; every message is decoded into
-	// owned values before the next read.
+// resumePlayer re-admits a player session after a failover. A session is
+// resumable when its avatar survived into the restored world (directly,
+// or listed in the checkpoint's session table); the avatar keeps its
+// exact position, HP, and state — no respawn. Unknown sessions are
+// refused and fall back to a full rejoin.
+func (s *CloudServer) resumePlayer(conn net.Conn, req protocol.Resume) {
+	pc := &playerConn{conn: conn}
+	var (
+		old         *playerConn
+		cands       []protocol.CandidateInfo
+		tick        uint64
+		standbyAddr string
+	)
+	s.mu.Lock()
+	known := s.world.Avatar(int(req.PlayerID)) != nil || s.resumable[req.PlayerID]
+	if known {
+		if s.world.Avatar(int(req.PlayerID)) == nil {
+			// Session table said resumable but the avatar is gone (departed
+			// after the checkpoint, removal replayed from the log): treat the
+			// resume as a fresh spawn rather than refusing the player.
+			width, height := s.world.Size()
+			av := s.world.SpawnAvatar(int(req.PlayerID), width/2, height/2)
+			s.sessionDeltas = append(s.sessionDeltas, virtualworld.Delta{ID: av.ID, Entity: *av})
+		}
+		old = s.players[req.PlayerID]
+		s.players[req.PlayerID] = pc
+		delete(s.resumable, req.PlayerID)
+		cands = s.candidateInfosLocked()
+		tick = s.world.Tick()
+		standbyAddr = s.standbyAddr
+		s.resil.ResumedPlayers++
+	}
+	s.mu.Unlock()
+	if !known {
+		refuse := protocol.ResumeReply{Reason: "unknown session"}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		protocol.WriteMessage(conn, protocol.MsgResumeReply, refuse.Marshal())
+		conn.Close()
+		return
+	}
+	if old != nil && old != pc {
+		old.conn.Close()
+	}
+
+	reply := protocol.ResumeReply{
+		OK: true,
+		// Discard tells the client its retained state ran ahead of the
+		// restored history: inputs it sent against ticks beyond Tick were
+		// never committed and should be dropped, not replayed.
+		Discard:         req.Epoch != s.epoch && req.Tick > tick,
+		Epoch:           s.epoch,
+		Tick:            tick,
+		Candidates:      cands,
+		CloudStreamAddr: s.Addr(),
+		StandbyAddr:     standbyAddr,
+	}
+	pc.sendMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := protocol.WriteMessage(conn, protocol.MsgResumeReply, reply.Marshal())
+	conn.SetWriteDeadline(time.Time{})
+	pc.sendMu.Unlock()
+	if err != nil {
+		s.dropPlayer(req.PlayerID, pc)
+		return
+	}
+	s.playerLoop(conn, req.PlayerID, pc)
+}
+
+// playerLoop is the shared action loop: the player streams inputs until
+// it leaves. The reader reuses one buffer per connection; every message
+// is decoded into owned values before the next read.
+func (s *CloudServer) playerLoop(conn net.Conn, playerID int32, pc *playerConn) {
 	fr := protocol.NewFrameReader(conn)
 	for {
 		typ, payload, err := fr.Next()
@@ -884,7 +1413,7 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 		switch typ {
 		case protocol.MsgAction:
 			am, aerr := protocol.UnmarshalActionMsg(payload)
-			if aerr != nil || am.Action.Player != int(join.PlayerID) {
+			if aerr != nil || am.Action.Player != int(playerID) {
 				continue // never let a player act for another
 			}
 			s.mu.Lock()
@@ -892,22 +1421,27 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 			s.mu.Unlock()
 		case protocol.MsgQoEReport:
 			rep, rerr := protocol.UnmarshalQoEReport(payload)
-			if rerr != nil || rep.PlayerID != join.PlayerID {
+			if rerr != nil || rep.PlayerID != playerID {
 				continue // never let a player rate on another's behalf
 			}
 			s.recordQoE(rep)
 		case protocol.MsgBye:
-			s.dropPlayer(join.PlayerID, pc)
+			s.dropPlayer(playerID, pc)
 			return
 		}
 	}
-	s.dropPlayer(join.PlayerID, pc)
+	s.dropPlayer(playerID, pc)
 }
 
 func (s *CloudServer) dropPlayer(id int32, pc *playerConn) {
 	s.mu.Lock()
 	if s.players[id] == pc {
 		delete(s.players, id)
+		if av := s.world.Avatar(int(id)); av != nil {
+			// The departure is a membership change the delta stream and
+			// the standby's log must carry.
+			s.sessionDeltas = append(s.sessionDeltas, virtualworld.Delta{ID: av.ID, Removed: true})
+		}
 		s.world.RemovePlayer(int(id))
 	}
 	s.mu.Unlock()

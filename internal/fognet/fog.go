@@ -3,6 +3,7 @@ package fognet
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,7 +65,26 @@ type FogResilience struct {
 	ReconnectAttempts int64
 	// HeartbeatAcks counts liveness replies sent to the cloud.
 	HeartbeatAcks int64
+	// Resumes counts reconnections that went through MsgResume — after a
+	// cloud failover, re-admissions on the promoted standby.
+	Resumes int64
+	// DiscardedResyncs counts resume replies that flagged the replica as
+	// ahead of the restored history (those ticks are authoritatively
+	// gone; the snapshot reseed erases them).
+	DiscardedResyncs int64
+	// BufferedActions / ForwardedActions / DroppedActions account the
+	// outage-window input path: player actions queued while the cloud
+	// link was down, flushed upstream after recovery, or dropped because
+	// a per-player queue was full.
+	BufferedActions  int64
+	ForwardedActions int64
+	DroppedActions   int64
 }
+
+// maxBufferedActionsPerPlayer bounds each player's outage-window action
+// queue on the fog node; beyond it the oldest intent is the one worth
+// keeping least, so new arrivals are dropped and counted.
+const maxBufferedActionsPerPlayer = 64
 
 // FogNode is one supernode: it replicates the world and renders/streams
 // per-player video.
@@ -81,6 +101,23 @@ type FogNode struct {
 	frames    int64
 	probes    int64
 	resil     FogResilience
+
+	// The failover view: the authority epoch of the cloud currently
+	// followed, its address, and the advertised standby. reconnect walks
+	// authority → standby and a successful resume rebinds all three.
+	epoch       uint64 // guarded by mu
+	authority   string // guarded by mu
+	standbyAddr string // guarded by mu
+	// actionQ buffers per-player inputs received on video sessions while
+	// the cloud link is down (bounded by maxBufferedActionsPerPlayer);
+	// guarded by mu.
+	actionQ map[int32][]virtualworld.Action
+
+	// cloudWMu serializes writes on the cloud connection: heartbeat acks
+	// from the update loop and forwarded player actions from video
+	// sessions share it.
+	cloudWMu sync.Mutex
+	actBuf   []byte // forward-path encode scratch; guarded by cloudWMu
 
 	jitter *rng.Rand // reconnect jitter; guarded by mu
 
@@ -123,21 +160,27 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 		return nil, fmt.Errorf("fog listen: %w", err)
 	}
 	f := &FogNode{
-		cfg:      cfg,
-		listener: ln,
-		attached: make(map[int32]struct{}),
-		jitter:   rng.New(cfg.Seed).SplitNamed("fog-reconnect-" + cfg.Name),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		listener:  ln,
+		attached:  make(map[int32]struct{}),
+		actionQ:   make(map[int32][]virtualworld.Action),
+		authority: cfg.CloudAddr,
+		jitter:    rng.New(cfg.Seed).SplitNamed("fog-reconnect-" + cfg.Name),
+		stop:      make(chan struct{}),
 	}
 	conn, welcome, err := f.connectCloud()
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
+	f.mu.Lock()
 	f.cloud = conn
 	f.id = welcome.SupernodeID
+	f.epoch = welcome.Epoch
+	f.standbyAddr = welcome.StandbyAddr
 	f.replica = virtualworld.NewReplica(welcome.Snapshot.Width, welcome.Snapshot.Height)
 	f.replica.Seed(welcome.Snapshot)
+	f.mu.Unlock()
 
 	f.wg.Add(2)
 	go f.updateLoop()
@@ -211,10 +254,33 @@ func (f *FogNode) Close() error {
 	return nil
 }
 
+// Shutdown is the graceful SIGTERM path: it drains any outage-window
+// action buffers upstream, tells the cloud this supernode is departing
+// (MsgBye, so the eviction is a clean departure rather than a heartbeat
+// timeout), and then closes. Streaming players see their session end and
+// migrate via the candidate ladder as usual.
+func (f *FogNode) Shutdown() error {
+	f.flushActions()
+	f.mu.Lock()
+	conn := f.cloud
+	f.mu.Unlock()
+	if conn != nil {
+		f.cloudWMu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+		protocol.WriteMessage(conn, protocol.MsgBye, nil)
+		f.cloudWMu.Unlock()
+	}
+	return f.Close()
+}
+
 // FogStats reports supernode counters.
 type FogStats struct {
 	// ReplicaTick is the latest applied world tick.
 	ReplicaTick uint64
+	// Epoch is the authority epoch of the cloud currently followed.
+	Epoch uint64
+	// BufferedNow is the number of outage-window actions currently held.
+	BufferedNow int
 	// Attached is the number of streaming players.
 	Attached int
 	// Frames is the total video frames streamed.
@@ -235,8 +301,14 @@ type FogStats struct {
 func (f *FogNode) Stats() FogStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	buffered := 0
+	for _, q := range f.actionQ {
+		buffered += len(q)
+	}
 	return FogStats{
 		ReplicaTick:   f.replica.Tick(),
+		Epoch:         f.epoch,
+		BufferedNow:   buffered,
 		Attached:      len(f.attached),
 		Frames:        f.frames,
 		VideoBits:     f.videoBits,
@@ -279,6 +351,11 @@ func (f *FogNode) updateLoop() {
 					continue
 				}
 				f.mu.Lock()
+				if batch.Epoch > f.epoch {
+					// The authority failed over while this conn survived;
+					// its stamp is the fastest notification there is.
+					f.epoch = batch.Epoch
+				}
 				f.replica.Apply(batch.Tick, batch.Deltas)
 				f.mu.Unlock()
 			case protocol.MsgHeartbeat:
@@ -298,15 +375,35 @@ func (f *FogNode) updateLoop() {
 				if aerr != nil {
 					continue
 				}
+				// The ack shares the connection with forwarded player
+				// actions; one writer at a time.
+				f.cloudWMu.Lock()
 				conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
 				_, werr := conn.Write(ackBuf)
 				conn.SetWriteDeadline(time.Time{})
+				f.cloudWMu.Unlock()
 				if werr != nil {
 					continue // the read side will observe the dead conn
 				}
 				f.mu.Lock()
 				f.resil.HeartbeatAcks++
 				f.mu.Unlock()
+			case protocol.MsgCandidateUpdate:
+				// The cloud keeps supernodes' failover view current too:
+				// the advertised standby is the second rung of this
+				// node's own reconnect ladder.
+				upd, uerr := protocol.UnmarshalCandidateUpdate(payload)
+				if uerr != nil {
+					continue
+				}
+				f.mu.Lock()
+				f.standbyAddr = upd.StandbyAddr
+				f.mu.Unlock()
+			case protocol.MsgBye:
+				// Graceful cloud shutdown: stop reading and head into the
+				// redial/resume ladder (the standby, if any, is about to
+				// take over).
+				break readLoop
 			}
 		}
 		if !f.reconnect() {
@@ -315,9 +412,13 @@ func (f *FogNode) updateLoop() {
 	}
 }
 
-// reconnect redials the cloud until it succeeds or the node closes,
-// doubling a jittered backoff each attempt. On success it installs the
-// new connection and resyncs the replica from the welcome snapshot.
+// reconnect re-establishes the cloud link after it broke, walking the
+// failover ladder authority → standby with jittered, capped exponential
+// backoff. Every rung goes through MsgResume: it re-registers on the
+// same primary after a network blip and re-admits on a promoted standby
+// after a crash, and either way the reply's snapshot resyncs the
+// replica. On success, buffered outage-window player actions are
+// flushed upstream.
 func (f *FogNode) reconnect() bool {
 	f.mu.Lock()
 	old := f.cloud
@@ -330,10 +431,14 @@ func (f *FogNode) reconnect() bool {
 			return false
 		default:
 		}
-		// ±50% deterministic jitter around the current backoff.
 		f.mu.Lock()
-		sleep := time.Duration(f.jitter.Uniform(0.5, 1.5) * float64(backoff))
+		sleep, next := nextBackoff(f.jitter, backoff, f.cfg.ReconnectBackoffMax)
+		ladder := []string{f.authority}
+		if f.standbyAddr != "" && f.standbyAddr != f.authority {
+			ladder = append(ladder, f.standbyAddr)
+		}
 		f.mu.Unlock()
+		backoff = next
 		t := time.NewTimer(sleep)
 		select {
 		case <-f.stop:
@@ -341,34 +446,151 @@ func (f *FogNode) reconnect() bool {
 			return false
 		case <-t.C:
 		}
-		f.mu.Lock()
-		f.resil.ReconnectAttempts++
-		f.mu.Unlock()
-		conn, welcome, err := f.connectCloud()
-		if err != nil {
-			backoff *= 2
-			if backoff > f.cfg.ReconnectBackoffMax {
-				backoff = f.cfg.ReconnectBackoffMax
+		for _, addr := range ladder {
+			f.mu.Lock()
+			f.resil.ReconnectAttempts++
+			f.mu.Unlock()
+			conn, reply, err := f.resumeCloud(addr)
+			if err != nil {
+				continue
 			}
-			continue
+			f.mu.Lock()
+			f.cloud = conn
+			f.id = reply.SupernodeID
+			f.epoch = reply.Epoch
+			f.authority = addr
+			f.standbyAddr = reply.StandbyAddr
+			f.replica.Seed(reply.Snapshot) // resync: drop stale state wholesale
+			if reply.Discard {
+				f.resil.DiscardedResyncs++
+			}
+			f.resil.Reconnects++
+			f.resil.Resumes++
+			closing := false
+			select {
+			case <-f.stop:
+				closing = true
+			default:
+			}
+			f.mu.Unlock()
+			if closing {
+				conn.Close()
+				return false
+			}
+			f.flushActions()
+			return true
+		}
+	}
+}
+
+// resumeCloud dials addr and performs the epoch-stamped resume
+// handshake, returning the connection and the reply holding the new
+// epoch, authoritative tick, and reseed snapshot. The whole handshake
+// runs under deadlines.
+func (f *FogNode) resumeCloud(addr string) (net.Conn, protocol.ResumeReply, error) {
+	var zero protocol.ResumeReply
+	conn, err := f.cfg.Dial("tcp", addr, f.cfg.DialTimeout)
+	if err != nil {
+		return nil, zero, err
+	}
+	f.mu.Lock()
+	req := protocol.Resume{
+		Kind:       protocol.ResumeSupernode,
+		Epoch:      f.epoch,
+		Tick:       f.replica.Tick(),
+		Name:       f.cfg.Name,
+		Capacity:   f.cfg.Capacity,
+		StreamAddr: f.listener.Addr().String(),
+	}
+	f.mu.Unlock()
+	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	if werr := protocol.WriteMessage(conn, protocol.MsgResume, req.Marshal()); werr != nil {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog resume: %w", werr)
+	}
+	typ, payload, rerr := protocol.ReadMessage(conn)
+	if rerr != nil || typ != protocol.MsgResumeReply {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog resume reply: %v %w", typ, rerr)
+	}
+	reply, derr := protocol.UnmarshalResumeReply(payload)
+	if derr != nil || !reply.OK || !reply.HasSnapshot {
+		conn.Close()
+		return nil, zero, fmt.Errorf("fog resume rejected: %s %w", reply.Reason, derr)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, reply, nil
+}
+
+// submitAction implements actionSink: a player whose cloud control link
+// is down sent an input over its video session. The fog forwards it
+// upstream immediately when its own cloud link is up, and otherwise
+// buffers it (bounded per player) for the outage window.
+func (f *FogNode) submitAction(a virtualworld.Action) bool {
+	f.mu.Lock()
+	conn := f.cloud
+	f.mu.Unlock()
+	if conn != nil && f.forwardAction(conn, a) {
+		f.mu.Lock()
+		f.resil.ForwardedActions++
+		f.mu.Unlock()
+		return true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q := f.actionQ[int32(a.Player)]
+	if len(q) >= maxBufferedActionsPerPlayer {
+		f.resil.DroppedActions++
+		return false
+	}
+	f.actionQ[int32(a.Player)] = append(q, a)
+	f.resil.BufferedActions++
+	return true
+}
+
+// forwardAction frames and writes one action upstream under the shared
+// cloud-write mutex; false means the link is (now) broken.
+func (f *FogNode) forwardAction(conn net.Conn, a virtualworld.Action) bool {
+	msg := protocol.ActionMsg{Action: a}
+	f.cloudWMu.Lock()
+	defer f.cloudWMu.Unlock()
+	var err error
+	f.actBuf, err = protocol.AppendMessage(f.actBuf[:0], protocol.MsgAction, &msg)
+	if err != nil {
+		return false
+	}
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+	_, werr := conn.Write(f.actBuf)
+	conn.SetWriteDeadline(time.Time{})
+	return werr == nil
+}
+
+// flushActions drains the outage-window buffers upstream after a
+// reconnect, in player order so the flush is deterministic for a given
+// buffered set.
+func (f *FogNode) flushActions() {
+	f.mu.Lock()
+	conn := f.cloud
+	var all []virtualworld.Action
+	if conn != nil && len(f.actionQ) > 0 {
+		ids := make([]int32, 0, len(f.actionQ))
+		for id := range f.actionQ {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			all = append(all, f.actionQ[id]...)
+			delete(f.actionQ, id)
+		}
+	}
+	f.mu.Unlock()
+	for _, a := range all {
+		if !f.forwardAction(conn, a) {
+			return // the read side will observe the dead conn
 		}
 		f.mu.Lock()
-		f.cloud = conn
-		f.id = welcome.SupernodeID
-		f.replica.Seed(welcome.Snapshot) // resync: drop stale state wholesale
-		f.resil.Reconnects++
-		closing := false
-		select {
-		case <-f.stop:
-			closing = true
-		default:
-		}
+		f.resil.ForwardedActions++
 		f.mu.Unlock()
-		if closing {
-			conn.Close()
-			return false
-		}
-		return true
 	}
 }
 
@@ -456,7 +678,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 		f.mu.Unlock()
 	}()
 	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f.cfg.WriteTimeout,
-		f, f, f.stop, &f.wg)
+		f, f, f, f.stop, &f.wg)
 }
 
 // currentSnapshot implements snapshotSource over the replica.

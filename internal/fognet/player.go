@@ -78,11 +78,15 @@ type PlayerConfig struct {
 	QoEInterval time.Duration
 }
 
+// maxPendingActions bounds the player's local outage buffer: inputs
+// that could reach neither the cloud nor the serving supernode wait
+// here for the control-plane resume.
+const maxPendingActions = 256
+
 // PlayerClient is a thin client: it sends inputs to the cloud and receives
 // a video stream from a supernode.
 type PlayerClient struct {
-	cfg   PlayerConfig
-	cloud net.Conn
+	cfg PlayerConfig
 
 	mu         sync.Mutex
 	video      net.Conn
@@ -96,6 +100,23 @@ type PlayerClient struct {
 	fallbacks  int
 	stallMs    int64
 	candUpd    int64
+
+	// The failover view of the control plane: the authority epoch, the
+	// control address currently spoken to, and the advertised standby.
+	// A broken control link resumes ctrlAddr → standbyAddr with the
+	// epoch-stamped MsgResume handshake.
+	epoch       uint64 // guarded by mu
+	ctrlAddr    string // guarded by mu
+	standbyAddr string // guarded by mu
+	// pendingActs buffers inputs that could reach neither the cloud nor
+	// the serving supernode, flushed (or discarded, on an epoch
+	// regression) after the control-plane resume. Guarded by mu.
+	pendingActs  []virtualworld.Action
+	ctrlResumes  int64 // guarded by mu
+	bufferedActs int64 // guarded by mu
+	reroutedActs int64 // guarded by mu
+	droppedActs  int64 // guarded by mu
+	discardedAct int64 // guarded by mu
 
 	// candidates is the cloud-provided ladder — addresses plus load,
 	// capacity, and reputation score — kept fresh by MsgCandidateUpdate
@@ -114,8 +135,14 @@ type PlayerClient struct {
 	rank   *rng.Rand // ladder tie-break shuffle; guarded by mu
 
 	// cloudMu serializes writes on the cloud control connection, which
-	// now carries QoE reports alongside the action stream.
+	// carries QoE reports alongside the action stream — and guards the
+	// connection itself, which a control-plane resume swaps.
 	cloudMu sync.Mutex
+	cloud   net.Conn // guarded by cloudMu
+
+	// videoWMu serializes writes on the video connection: rate changes
+	// from the video loop and rerouted actions from the action loop.
+	videoWMu sync.Mutex
 
 	ctrl *adaptation.Controller
 
@@ -194,6 +221,9 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	p.mu.Lock()
 	p.candidates = reply.Candidates
 	p.cloudAddr = reply.CloudStreamAddr
+	p.epoch = reply.Epoch
+	p.ctrlAddr = cfg.CloudAddr
+	p.standbyAddr = reply.StandbyAddr
 	p.mu.Unlock()
 	video, err := p.attachToAny(p.ladder())
 	if err != nil {
@@ -347,15 +377,18 @@ func (p *PlayerClient) Close() error {
 	video := p.video
 	p.mu.Unlock()
 	p.cloudMu.Lock()
-	p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-	protocol.WriteMessage(p.cloud, protocol.MsgBye, nil)
+	cloud := p.cloud
+	cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	protocol.WriteMessage(cloud, protocol.MsgBye, nil)
 	p.cloudMu.Unlock()
 	if video != nil {
+		p.videoWMu.Lock()
 		video.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 		protocol.WriteMessage(video, protocol.MsgBye, nil)
+		p.videoWMu.Unlock()
 		video.Close()
 	}
-	p.cloud.Close()
+	cloud.Close()
 	p.wg.Wait()
 	return nil
 }
@@ -388,6 +421,20 @@ type PlayerStats struct {
 	// QoEReports counts ratings this player sent to the cloud's
 	// reputation book.
 	QoEReports int64
+	// Epoch is the authority epoch of the cloud currently spoken to; a
+	// jump means the session survived a failover.
+	Epoch uint64
+	// CtrlResumes counts control-plane resumes (MsgResume re-admissions
+	// after the cloud link broke).
+	CtrlResumes int64
+	// BufferedActions / ReroutedActions / DroppedActions / DiscardedActions
+	// account the outage-window input path: held locally, rerouted via
+	// the serving supernode, dropped at the bounded buffer, or discarded
+	// on resume because the restored world never saw their ticks.
+	BufferedActions  int64
+	ReroutedActions  int64
+	DroppedActions   int64
+	DiscardedActions int64
 }
 
 // Stats snapshots the counters.
@@ -406,6 +453,12 @@ func (p *PlayerClient) Stats() PlayerStats {
 		StallMs:             p.stallMs,
 		CandidateUpdates:    p.candUpd,
 		QoEReports:          p.qoeReports,
+		Epoch:               p.epoch,
+		CtrlResumes:         p.ctrlResumes,
+		BufferedActions:     p.bufferedActs,
+		ReroutedActions:     p.reroutedActs,
+		DroppedActions:      p.droppedActs,
+		DiscardedActions:    p.discardedAct,
 	}
 }
 
@@ -475,41 +528,227 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 				return
 			}
 			p.cloudMu.Lock()
-			p.cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-			_, err := p.cloud.Write(actBuf)
+			conn := p.cloud
+			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			_, err := conn.Write(actBuf)
 			p.cloudMu.Unlock()
 			if err != nil {
-				return
+				// Cloud control link down: reroute the input through the
+				// serving supernode (which forwards or buffers it) or
+				// hold it locally until the control-plane resume. The
+				// loop keeps running — the link is cloudLoop's to heal.
+				p.rerouteAction(actBuf, msg.Action)
 			}
 		}
 	}
 }
 
 // cloudLoop receives the cloud's pushes on the control connection —
-// today, candidate-ladder refreshes when the supernode set changes.
+// candidate-ladder refreshes and standby-address updates — and owns
+// healing that connection: when it breaks (crash or graceful Bye), the
+// loop resumes the session on the failover ladder and flushes any
+// inputs buffered through the outage.
 func (p *PlayerClient) cloudLoop() {
 	defer p.wg.Done()
-	fr := protocol.NewFrameReader(p.cloud)
+	p.cloudMu.Lock()
+	conn := p.cloud
+	p.cloudMu.Unlock()
 	for {
-		typ, payload, err := fr.Next()
-		if err != nil {
-			return // cloud gone or Close()
+		fr := protocol.NewFrameReader(conn)
+	readLoop:
+		for {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				break readLoop // cloud gone or Close()
+			}
+			switch typ {
+			case protocol.MsgCandidateUpdate:
+				upd, uerr := protocol.UnmarshalCandidateUpdate(payload)
+				if uerr != nil {
+					continue
+				}
+				p.mu.Lock()
+				p.candidates = upd.Candidates
+				if upd.CloudStreamAddr != "" {
+					p.cloudAddr = upd.CloudStreamAddr
+				}
+				p.standbyAddr = upd.StandbyAddr
+				p.candUpd++
+				p.mu.Unlock()
+			case protocol.MsgBye:
+				// Graceful cloud shutdown: head straight into the resume
+				// ladder; the standby is about to take over.
+				break readLoop
+			}
 		}
-		if typ != protocol.MsgCandidateUpdate {
-			continue
+		next, ok := p.resumeCtrl()
+		if !ok {
+			return
 		}
-		upd, uerr := protocol.UnmarshalCandidateUpdate(payload)
-		if uerr != nil {
-			continue
+		conn = next
+	}
+}
+
+// resumeCtrl re-establishes the control session after the cloud link
+// broke, walking the ladder ctrlAddr → standbyAddr with jittered,
+// capped backoff and the epoch-stamped MsgResume handshake. On success
+// the avatar continues where the recovered authority has it — no
+// rejoin, no respawn — and locally buffered inputs are flushed (or
+// discarded when the reply says the client's history ran ahead of the
+// restored world). It reports false when the client is closing or every
+// attempt was refused.
+func (p *PlayerClient) resumeCtrl() (net.Conn, bool) {
+	backoff := DefaultMigrateBackoff
+	for attempt := 0; attempt < migrateAttempts; attempt++ {
+		select {
+		case <-p.stop:
+			return nil, false
+		default:
 		}
 		p.mu.Lock()
-		p.candidates = upd.Candidates
-		if upd.CloudStreamAddr != "" {
-			p.cloudAddr = upd.CloudStreamAddr
+		ladder := []string{p.ctrlAddr}
+		if p.standbyAddr != "" && p.standbyAddr != p.ctrlAddr {
+			ladder = append(ladder, p.standbyAddr)
 		}
-		p.candUpd++
+		req := protocol.Resume{
+			Kind:     protocol.ResumePlayer,
+			PlayerID: p.cfg.PlayerID,
+			Epoch:    p.epoch,
+			Tick:     p.lastTick,
+		}
 		p.mu.Unlock()
+		for _, addr := range ladder {
+			conn, reply, err := p.dialResume(addr, req)
+			if err != nil {
+				continue
+			}
+			p.cloudMu.Lock()
+			old := p.cloud
+			p.cloud = conn
+			p.cloudMu.Unlock()
+			if old != nil {
+				old.Close()
+			}
+			p.mu.Lock()
+			p.epoch = reply.Epoch
+			p.ctrlAddr = addr
+			p.standbyAddr = reply.StandbyAddr
+			if len(reply.Candidates) > 0 {
+				p.candidates = reply.Candidates
+			}
+			if reply.CloudStreamAddr != "" {
+				p.cloudAddr = reply.CloudStreamAddr
+			}
+			p.ctrlResumes++
+			var flush []virtualworld.Action
+			if reply.Discard {
+				// The inputs were aimed at ticks the crashed primary
+				// never durably committed; replaying them against the
+				// rewound world would double-apply intent.
+				p.discardedAct += int64(len(p.pendingActs))
+			} else {
+				flush = append(flush, p.pendingActs...)
+			}
+			p.pendingActs = p.pendingActs[:0]
+			p.mu.Unlock()
+			p.flushPending(conn, flush)
+			return conn, true
+		}
+		p.mu.Lock()
+		sleep, next := nextBackoff(p.jitter, backoff, DefaultMigrateBackoffMax)
+		p.mu.Unlock()
+		backoff = next
+		t := time.NewTimer(sleep)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return nil, false
+		case <-t.C:
+		}
 	}
+	return nil, false
+}
+
+// dialResume performs one resume handshake under deadlines.
+func (p *PlayerClient) dialResume(addr string, req protocol.Resume) (net.Conn, protocol.ResumeReply, error) {
+	var zero protocol.ResumeReply
+	conn, err := p.cfg.Dial("tcp", addr, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, zero, err
+	}
+	conn.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
+	if werr := protocol.WriteMessage(conn, protocol.MsgResume, req.Marshal()); werr != nil {
+		conn.Close()
+		return nil, zero, werr
+	}
+	typ, payload, rerr := protocol.ReadMessage(conn)
+	if rerr != nil || typ != protocol.MsgResumeReply {
+		conn.Close()
+		return nil, zero, fmt.Errorf("player resume reply: %v %w", typ, rerr)
+	}
+	reply, derr := protocol.UnmarshalResumeReply(payload)
+	if derr != nil || !reply.OK {
+		conn.Close()
+		return nil, zero, fmt.Errorf("player resume rejected: %s %w", reply.Reason, derr)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, reply, nil
+}
+
+// flushPending replays outage-buffered inputs on the resumed control
+// connection, oldest first.
+func (p *PlayerClient) flushPending(conn net.Conn, acts []virtualworld.Action) {
+	var buf []byte
+	for i := range acts {
+		msg := protocol.ActionMsg{Action: acts[i]}
+		var err error
+		buf, err = protocol.AppendMessage(buf[:0], protocol.MsgAction, &msg)
+		if err != nil {
+			return
+		}
+		p.cloudMu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		_, werr := conn.Write(buf)
+		conn.SetWriteDeadline(time.Time{})
+		p.cloudMu.Unlock()
+		if werr != nil {
+			return // the read side will observe the dead conn
+		}
+	}
+}
+
+// rerouteAction handles an input the cloud write refused: first try the
+// serving supernode over the video session (frame is the already-framed
+// MsgAction; the fog forwards or buffers it), then fall back to the
+// local pending buffer, bounded so an extended outage cannot grow
+// memory without limit.
+func (p *PlayerClient) rerouteAction(frame []byte, a virtualworld.Action) {
+	p.mu.Lock()
+	video := p.video
+	isCloudStream := p.servingAddr == p.cloudAddr
+	p.mu.Unlock()
+	// A cloud-fallback video session dies with the cloud; don't bother.
+	if video != nil && !isCloudStream {
+		p.videoWMu.Lock()
+		video.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		_, err := video.Write(frame)
+		video.SetWriteDeadline(time.Time{})
+		p.videoWMu.Unlock()
+		if err == nil {
+			p.mu.Lock()
+			p.reroutedActs++
+			p.mu.Unlock()
+			return
+		}
+	}
+	p.mu.Lock()
+	if len(p.pendingActs) >= maxPendingActions {
+		p.droppedActs++
+	} else {
+		p.pendingActs = append(p.pendingActs, a)
+		p.bufferedActs++
+	}
+	p.mu.Unlock()
 }
 
 // videoLoop receives and decodes the video stream, and drives the
@@ -590,9 +829,11 @@ func (p *PlayerClient) videoLoop() {
 					if rerr != nil {
 						continue
 					}
+					p.videoWMu.Lock()
 					conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
 					_, werr := conn.Write(rcBuf)
 					conn.SetWriteDeadline(time.Time{})
+					p.videoWMu.Unlock()
 					if werr != nil {
 						continue // the next read will fail over
 					}
@@ -625,7 +866,7 @@ func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
 	if failed != "" {
 		p.reportQoE(failed, 0, true, false)
 	}
-	backoff := 50 * time.Millisecond
+	backoff := DefaultMigrateBackoff
 	for attempt := 0; attempt < migrateAttempts; attempt++ {
 		select {
 		case <-p.stop:
@@ -653,8 +894,9 @@ func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
 		// The ladder may be mid-refresh (the cloud broadcasts after an
 		// eviction); back off with deterministic jitter and retry.
 		p.mu.Lock()
-		sleep := time.Duration(p.jitter.Uniform(0.5, 1.5) * float64(backoff))
+		sleep, next := nextBackoff(p.jitter, backoff, DefaultMigrateBackoffMax)
 		p.mu.Unlock()
+		backoff = next
 		t := time.NewTimer(sleep)
 		select {
 		case <-p.stop:
@@ -662,7 +904,6 @@ func (p *PlayerClient) migrate(dec *videocodec.Decoder) (net.Conn, bool) {
 			return nil, false
 		case <-t.C:
 		}
-		backoff *= 2
 	}
 	return nil, false
 }

@@ -24,6 +24,16 @@ type streamCounters interface {
 	addFrame(bits int)
 }
 
+// actionSink accepts player inputs that arrive on a video session — the
+// outage escape hatch: a player whose cloud control link is down routes
+// actions through its serving supernode, which forwards them upstream
+// immediately or buffers them (bounded) until its own cloud link
+// recovers. The cloud's fallback sessions feed the authoritative world
+// directly. Returns false when the action was dropped.
+type actionSink interface {
+	submitAction(a virtualworld.Action) bool
+}
+
 // runVideoSession streams rendered, encoded frames for one attached player
 // until the connection breaks, a Bye arrives, or stop closes. It handles
 // the receiver-driven RateChange messages of §3.3. Every frame write
@@ -46,6 +56,7 @@ func runVideoSession(
 	writeTimeout time.Duration,
 	source snapshotSource,
 	counters streamCounters,
+	actions actionSink,
 	stop <-chan struct{},
 	wg *sync.WaitGroup,
 ) {
@@ -74,6 +85,14 @@ func runVideoSession(
 					default:
 					}
 				}
+			case protocol.MsgAction:
+				// Outage-window input rerouting: only the attached
+				// player's own actions are accepted.
+				am, aerr := protocol.UnmarshalActionMsg(payload)
+				if aerr != nil || am.Action.Player != int(playerID) {
+					continue
+				}
+				actions.submitAction(am.Action)
 			case protocol.MsgBye:
 				return
 			}

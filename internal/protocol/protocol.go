@@ -75,6 +75,25 @@ const (
 	// candidate ladder (§3.2's rating step, reported upward instead of
 	// kept private because the cloud builds the ladder).
 	MsgQoEReport
+	// MsgStandbyHello registers a warm standby with the primary cloud; the
+	// primary answers with a full checkpoint and then streams the per-tick
+	// delta log (DESIGN.md §12).
+	MsgStandbyHello
+	// MsgCheckpoint carries one encoded internal/checkpoint State to the
+	// standby. The payload is opaque to this package — the checkpoint
+	// format is versioned independently of the wire protocol.
+	MsgCheckpoint
+	// MsgLogEntry carries one encoded per-tick delta-log entry to the
+	// standby (opaque payload, like MsgCheckpoint). Sent every tick even
+	// when empty: the stream doubles as the primary's liveness signal.
+	MsgLogEntry
+	// MsgResume asks a (possibly just-promoted) cloud to continue an
+	// existing supernode or player session after the primary was lost,
+	// instead of a full rejoin.
+	MsgResume
+	// MsgResumeReply answers a resume with the authoritative epoch/tick
+	// and whatever the resuming peer needs to reconverge.
+	MsgResumeReply
 )
 
 // String names the message type.
@@ -114,6 +133,16 @@ func (t MsgType) String() string {
 		return "candidate-update"
 	case MsgQoEReport:
 		return "qoe-report"
+	case MsgStandbyHello:
+		return "standby-hello"
+	case MsgCheckpoint:
+		return "checkpoint"
+	case MsgLogEntry:
+		return "log-entry"
+	case MsgResume:
+		return "resume"
+	case MsgResumeReply:
+		return "resume-reply"
 	default:
 		return "unknown"
 	}
@@ -328,6 +357,11 @@ func UnmarshalSupernodeHello(buf []byte) (SupernodeHello, error) {
 type SupernodeWelcome struct {
 	// SupernodeID is the cloud-assigned identifier.
 	SupernodeID uint32
+	// Epoch is the cloud's authority epoch; the supernode presents it when
+	// resuming after a failover.
+	Epoch uint64
+	// StandbyAddr is the warm standby's control endpoint ("" when none).
+	StandbyAddr string
 	// Snapshot is the full world state to seed from.
 	Snapshot virtualworld.Snapshot
 }
@@ -336,6 +370,8 @@ type SupernodeWelcome struct {
 func (m SupernodeWelcome) Marshal() []byte {
 	w := &writer{}
 	w.u32(m.SupernodeID)
+	w.u64(m.Epoch)
+	w.str(m.StandbyAddr)
 	w.u64(m.Snapshot.Tick)
 	w.f64(m.Snapshot.Width)
 	w.f64(m.Snapshot.Height)
@@ -349,7 +385,7 @@ func (m SupernodeWelcome) Marshal() []byte {
 // UnmarshalSupernodeWelcome decodes the message.
 func UnmarshalSupernodeWelcome(buf []byte) (SupernodeWelcome, error) {
 	r := &reader{buf: buf}
-	m := SupernodeWelcome{SupernodeID: r.u32()}
+	m := SupernodeWelcome{SupernodeID: r.u32(), Epoch: r.u64(), StandbyAddr: r.str()}
 	m.Snapshot.Tick = r.u64()
 	m.Snapshot.Width = r.f64()
 	m.Snapshot.Height = r.f64()
@@ -430,6 +466,11 @@ func getCandidateInfo(r *reader) CandidateInfo {
 type JoinReply struct {
 	// OK reports admission.
 	OK bool
+	// Epoch is the admitting cloud's authority epoch; the player presents
+	// it when resuming after a failover (DESIGN.md §12).
+	Epoch uint64
+	// Tick is the world tick at admission.
+	Tick uint64
 	// Candidates are the candidate supernodes, ranked best first — the
 	// cloud's candidate list of §3.2, with the load/capacity/score data
 	// the player re-ranks by.
@@ -438,6 +479,9 @@ type JoinReply struct {
 	// for players that no supernode accepts ("normal nodes that cannot
 	// find nearby supernodes directly connect to the cloud").
 	CloudStreamAddr string
+	// StandbyAddr is the warm standby's control endpoint, where sessions
+	// resume if this cloud dies ("" when no standby is attached).
+	StandbyAddr string
 	// Reason explains a rejection.
 	Reason string
 }
@@ -450,11 +494,14 @@ func (m JoinReply) Marshal() []byte {
 	} else {
 		w.u8(0)
 	}
+	w.u64(m.Epoch)
+	w.u64(m.Tick)
 	w.u16(uint16(len(m.Candidates)))
 	for _, c := range m.Candidates {
 		putCandidateInfo(w, c)
 	}
 	w.str(m.CloudStreamAddr)
+	w.str(m.StandbyAddr)
 	w.str(m.Reason)
 	return w.buf
 }
@@ -462,12 +509,13 @@ func (m JoinReply) Marshal() []byte {
 // UnmarshalJoinReply decodes the message.
 func UnmarshalJoinReply(buf []byte) (JoinReply, error) {
 	r := &reader{buf: buf}
-	m := JoinReply{OK: r.u8() == 1}
+	m := JoinReply{OK: r.u8() == 1, Epoch: r.u64(), Tick: r.u64()}
 	n := int(r.u16())
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Candidates = append(m.Candidates, getCandidateInfo(r))
 	}
 	m.CloudStreamAddr = r.str()
+	m.StandbyAddr = r.str()
 	m.Reason = r.str()
 	return m, r.finish()
 }
@@ -510,6 +558,10 @@ func UnmarshalActionMsg(buf []byte) (ActionMsg, error) {
 
 // UpdateBatch carries one tick's deltas — the Λ update stream.
 type UpdateBatch struct {
+	// Epoch is the authority epoch of the sending cloud. A supernode that
+	// sees the epoch advance knows a standby was promoted and its replica
+	// may hold state the new authority never committed.
+	Epoch uint64
 	// Tick is the world tick the deltas belong to.
 	Tick uint64
 	// Deltas are the changed entities.
@@ -523,6 +575,7 @@ func (m UpdateBatch) Marshal() []byte { return m.AppendTo(nil) }
 // slice; with enough capacity it does not allocate.
 func (m UpdateBatch) AppendTo(buf []byte) []byte {
 	w := writer{buf: buf}
+	w.u64(m.Epoch)
 	w.u64(m.Tick)
 	w.u32(uint32(len(m.Deltas)))
 	for _, d := range m.Deltas {
@@ -549,6 +602,7 @@ func UnmarshalUpdateBatch(buf []byte) (UpdateBatch, error) {
 // m holds partially decoded data and must not be used.
 func DecodeUpdateBatch(buf []byte, m *UpdateBatch) error {
 	r := &reader{buf: buf}
+	m.Epoch = r.u64()
 	m.Tick = r.u64()
 	m.Deltas = m.Deltas[:0]
 	n := int(r.u32())
@@ -572,7 +626,7 @@ func (m UpdateBatch) SizeBits() int { return m.EncodedSize() * 8 }
 
 // EncodedSize returns the exact Marshal()ed length in bytes.
 func (m UpdateBatch) EncodedSize() int {
-	n := 8 + 4 // tick + delta count
+	n := 8 + 8 + 4 // epoch + tick + delta count
 	for _, d := range m.Deltas {
 		n += 4 + 1 // entity ID + removed flag
 		if !d.Removed {
@@ -718,6 +772,9 @@ type CandidateUpdate struct {
 	Candidates []CandidateInfo
 	// CloudStreamAddr is the cloud's own fallback streaming endpoint.
 	CloudStreamAddr string
+	// StandbyAddr is the warm standby's control endpoint ("" when none),
+	// refreshed so players always know where to resume.
+	StandbyAddr string
 }
 
 // Marshal encodes the message.
@@ -732,6 +789,7 @@ func (m CandidateUpdate) AppendTo(buf []byte) []byte {
 		putCandidateInfo(&w, c)
 	}
 	w.str(m.CloudStreamAddr)
+	w.str(m.StandbyAddr)
 	return w.buf
 }
 
@@ -744,6 +802,7 @@ func UnmarshalCandidateUpdate(buf []byte) (CandidateUpdate, error) {
 		m.Candidates = append(m.Candidates, getCandidateInfo(r))
 	}
 	m.CloudStreamAddr = r.str()
+	m.StandbyAddr = r.str()
 	return m, r.finish()
 }
 
@@ -816,5 +875,185 @@ func (m ProbeReply) Marshal() []byte {
 func UnmarshalProbeReply(buf []byte) (ProbeReply, error) {
 	r := &reader{buf: buf}
 	m := ProbeReply{Available: int(r.u16())}
+	return m, r.finish()
+}
+
+// StandbyHello registers a warm standby with the primary. The primary
+// replies with a MsgCheckpoint (full state) and then streams MsgLogEntry
+// every tick; supernodes and players learn Addr through welcome/join/
+// candidate messages so they know where to resume.
+type StandbyHello struct {
+	// Addr is the standby's own control endpoint (where it will serve
+	// resumption after promotion).
+	Addr string
+}
+
+// Marshal encodes the message.
+func (m StandbyHello) Marshal() []byte {
+	w := &writer{}
+	w.str(m.Addr)
+	return w.buf
+}
+
+// UnmarshalStandbyHello decodes the message.
+func UnmarshalStandbyHello(buf []byte) (StandbyHello, error) {
+	r := &reader{buf: buf}
+	m := StandbyHello{Addr: r.str()}
+	return m, r.finish()
+}
+
+// Resume session kinds.
+const (
+	// ResumeSupernode resumes a supernode's cloud link.
+	ResumeSupernode uint8 = 1
+	// ResumePlayer resumes a player's control connection.
+	ResumePlayer uint8 = 2
+)
+
+// Resume asks a cloud (typically a just-promoted standby) to continue an
+// existing session. The presented epoch/tick let the authority decide
+// whether the peer's retained state is a valid prefix of the restored
+// history or must be discarded (DESIGN.md §12 epoch rules).
+type Resume struct {
+	// Kind is ResumeSupernode or ResumePlayer.
+	Kind uint8
+	// PlayerID identifies the resuming player (ResumePlayer only).
+	PlayerID int32
+	// Epoch is the last authority epoch the peer was attached to.
+	Epoch uint64
+	// Tick is the last authoritative tick the peer observed.
+	Tick uint64
+	// Name is the supernode's identifier (ResumeSupernode only).
+	Name string
+	// Capacity is the supernode's advertised capacity (ResumeSupernode
+	// only).
+	Capacity int
+	// StreamAddr is the supernode's player-facing address (ResumeSupernode
+	// only).
+	StreamAddr string
+}
+
+// Marshal encodes the message.
+func (m Resume) Marshal() []byte {
+	w := &writer{}
+	w.u8(m.Kind)
+	w.i32(m.PlayerID)
+	w.u64(m.Epoch)
+	w.u64(m.Tick)
+	w.str(m.Name)
+	w.u16(uint16(m.Capacity))
+	w.str(m.StreamAddr)
+	return w.buf
+}
+
+// UnmarshalResume decodes the message.
+func UnmarshalResume(buf []byte) (Resume, error) {
+	r := &reader{buf: buf}
+	m := Resume{Kind: r.u8(), PlayerID: r.i32(), Epoch: r.u64(), Tick: r.u64()}
+	m.Name = r.str()
+	m.Capacity = int(r.u16())
+	m.StreamAddr = r.str()
+	return m, r.finish()
+}
+
+// ResumeReply answers a Resume. For supernodes it carries a fresh replica
+// seed (replicas may hold ticks the restored history never committed, so
+// they always reseed); for players it carries the refreshed failover
+// ladder. A refused resume (OK=false) means the authority does not know
+// the session — the peer falls back to a full join.
+type ResumeReply struct {
+	// OK reports acceptance.
+	OK bool
+	// Discard tells the peer its retained state ran ahead of the restored
+	// history (it observed ticks from the dead primary that the new
+	// authority never committed) and any locally buffered derived state
+	// must be dropped rather than replayed.
+	Discard bool
+	// Epoch is the answering cloud's authority epoch.
+	Epoch uint64
+	// Tick is the current authoritative tick.
+	Tick uint64
+	// SupernodeID is the (re-)assigned supernode ID (ResumeSupernode only).
+	SupernodeID uint32
+	// HasSnapshot marks that Snapshot is present (ResumeSupernode only).
+	HasSnapshot bool
+	// Snapshot reseeds the supernode's replica.
+	Snapshot virtualworld.Snapshot
+	// Candidates is the refreshed failover ladder (ResumePlayer only).
+	Candidates []CandidateInfo
+	// CloudStreamAddr is the answering cloud's fallback stream endpoint.
+	CloudStreamAddr string
+	// StandbyAddr is the next standby's endpoint ("" when none yet).
+	StandbyAddr string
+	// Reason explains a refusal.
+	Reason string
+}
+
+// Marshal encodes the message.
+func (m ResumeReply) Marshal() []byte {
+	w := &writer{}
+	var flags uint8
+	if m.OK {
+		flags |= 1
+	}
+	if m.Discard {
+		flags |= 2
+	}
+	if m.HasSnapshot {
+		flags |= 4
+	}
+	w.u8(flags)
+	w.u64(m.Epoch)
+	w.u64(m.Tick)
+	w.u32(m.SupernodeID)
+	if m.HasSnapshot {
+		w.u64(m.Snapshot.Tick)
+		w.f64(m.Snapshot.Width)
+		w.f64(m.Snapshot.Height)
+		w.u32(uint32(len(m.Snapshot.Entities)))
+		for _, e := range m.Snapshot.Entities {
+			putEntity(w, e)
+		}
+	}
+	w.u16(uint16(len(m.Candidates)))
+	for _, c := range m.Candidates {
+		putCandidateInfo(w, c)
+	}
+	w.str(m.CloudStreamAddr)
+	w.str(m.StandbyAddr)
+	w.str(m.Reason)
+	return w.buf
+}
+
+// UnmarshalResumeReply decodes the message.
+func UnmarshalResumeReply(buf []byte) (ResumeReply, error) {
+	r := &reader{buf: buf}
+	var m ResumeReply
+	flags := r.u8()
+	m.OK = flags&1 != 0
+	m.Discard = flags&2 != 0
+	m.HasSnapshot = flags&4 != 0
+	m.Epoch = r.u64()
+	m.Tick = r.u64()
+	m.SupernodeID = r.u32()
+	if m.HasSnapshot {
+		m.Snapshot.Tick = r.u64()
+		m.Snapshot.Width = r.f64()
+		m.Snapshot.Height = r.f64()
+		n := int(r.u32())
+		if n > MaxPayload/EntityWireBytes {
+			return m, ErrTooLarge
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Snapshot.Entities = append(m.Snapshot.Entities, getEntity(r))
+		}
+	}
+	nc := int(r.u16())
+	for i := 0; i < nc && r.err == nil; i++ {
+		m.Candidates = append(m.Candidates, getCandidateInfo(r))
+	}
+	m.CloudStreamAddr = r.str()
+	m.StandbyAddr = r.str()
+	m.Reason = r.str()
 	return m, r.finish()
 }

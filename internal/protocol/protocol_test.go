@@ -292,9 +292,10 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalRateChange(append(m.Marshal(), 0xEE)); err == nil {
 		t.Error("trailing bytes accepted")
 	}
-	// A batch claiming absurdly many deltas must fail fast.
+	// A batch claiming absurdly many deltas must fail fast. The count
+	// field sits after the epoch and tick words.
 	huge := UpdateBatch{Tick: 1}.Marshal()
-	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	huge[16], huge[17], huge[18], huge[19] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, err := UnmarshalUpdateBatch(huge); err == nil {
 		t.Error("hostile delta count accepted")
 	}

@@ -1,0 +1,70 @@
+package reputation
+
+import "slices"
+
+// This file is the checkpoint surface of the GlobalBook: the fognet
+// cloud's ladder ranking is reputation-driven, so a promoted standby must
+// restore the exact rating history or its candidate ordering would diverge
+// from the failed primary's (DESIGN.md §12).
+
+// BookEntry is the rating history of one supernode.
+type BookEntry struct {
+	// SupernodeID identifies the rated supernode.
+	SupernodeID int
+	// Ratings is the history, oldest first.
+	Ratings []Rating
+}
+
+// BookState is a serializable snapshot of a GlobalBook, with entries
+// sorted by supernode ID so the encoding is canonical.
+type BookState struct {
+	// Lambda is the aging factor.
+	Lambda float64
+	// Entries holds per-supernode histories, ascending by SupernodeID.
+	Entries []BookEntry
+}
+
+// StateInto captures the book into st, reusing st's backing arrays
+// (including each entry's Ratings slice). With a quiesced book this
+// performs zero allocations once capacities stabilize, keeping periodic
+// checkpoint encodes off the steady-state allocation budget.
+func (g *GlobalBook) StateInto(st *BookState) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st.Lambda = g.lambda
+	entries := st.Entries[:0]
+	for id, rs := range g.ratings {
+		if len(entries) < cap(entries) {
+			entries = entries[:len(entries)+1]
+		} else {
+			entries = append(entries, BookEntry{})
+		}
+		e := &entries[len(entries)-1]
+		e.SupernodeID = id
+		e.Ratings = append(e.Ratings[:0], rs...)
+	}
+	slices.SortFunc(entries, func(a, b BookEntry) int { return a.SupernodeID - b.SupernodeID })
+	st.Entries = entries
+}
+
+// State captures the book into a fresh BookState.
+func (g *GlobalBook) State() BookState {
+	var st BookState
+	g.StateInto(&st)
+	return st
+}
+
+// RestoreGlobalBook rebuilds a GlobalBook from a captured state. Scores
+// computed by the restored book are bit-identical to the source's.
+func RestoreGlobalBook(st BookState) *GlobalBook {
+	g := NewGlobalBook(st.Lambda)
+	g.mu.Lock()
+	for _, e := range st.Entries {
+		if len(e.Ratings) == 0 {
+			continue
+		}
+		g.ratings[e.SupernodeID] = append([]Rating(nil), e.Ratings...)
+	}
+	g.mu.Unlock()
+	return g
+}

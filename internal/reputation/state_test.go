@@ -1,0 +1,67 @@
+package reputation
+
+import "testing"
+
+func TestGlobalBookStateRoundTrip(t *testing.T) {
+	g := NewGlobalBook(0.8)
+	g.Rate(3, 0.9, 1)
+	g.Rate(1, 0.4, 2)
+	g.Rate(3, 0.7, 5)
+	g.Rate(2, 1.0, 3)
+
+	st := g.State()
+	if st.Lambda != 0.8 {
+		t.Fatalf("lambda: %v", st.Lambda)
+	}
+	// Canonical order: ascending supernode ID.
+	wantIDs := []int{1, 2, 3}
+	if len(st.Entries) != len(wantIDs) {
+		t.Fatalf("entries: %d", len(st.Entries))
+	}
+	for i, id := range wantIDs {
+		if st.Entries[i].SupernodeID != id {
+			t.Fatalf("entry %d: got id %d want %d", i, st.Entries[i].SupernodeID, id)
+		}
+	}
+
+	r := RestoreGlobalBook(st)
+	for id := 1; id <= 3; id++ {
+		for day := 0; day < 10; day++ {
+			if got, want := r.Score(id, day), g.Score(id, day); got != want {
+				t.Fatalf("score(%d,%d): %v != %v", id, day, got, want)
+			}
+		}
+		if r.NumRatings(id) != g.NumRatings(id) {
+			t.Fatalf("ratings count for %d differ", id)
+		}
+	}
+}
+
+func TestGlobalBookStateIsACopy(t *testing.T) {
+	g := NewGlobalBook(0.9)
+	g.Rate(1, 0.5, 1)
+	st := g.State()
+	g.Rate(1, 0.1, 2) // must not leak into the captured state
+	if len(st.Entries[0].Ratings) != 1 {
+		t.Fatalf("captured state aliases live book: %v", st.Entries[0].Ratings)
+	}
+	st.Entries[0].Ratings[0].Value = 0 // nor the other way
+	if got := g.Score(1, 1); got == 0 {
+		t.Fatal("mutating state mutated live book")
+	}
+}
+
+func TestStateIntoSteadyStateAllocs(t *testing.T) {
+	g := NewGlobalBook(0.9)
+	for id := 1; id <= 8; id++ {
+		for k := 0; k < 20; k++ {
+			g.Rate(id, 0.5, k)
+		}
+	}
+	var st BookState
+	g.StateInto(&st) // warm capacities
+	allocs := testing.AllocsPerRun(100, func() { g.StateInto(&st) })
+	if allocs != 0 {
+		t.Fatalf("StateInto allocated %v/op on a quiesced book", allocs)
+	}
+}

@@ -17,6 +17,9 @@ import (
 // It is NOT safe for concurrent use; derive one per goroutine with Split.
 type Rand struct {
 	src *rand.Rand
+	// cnt is the draw-counting source feeding src; its tally is what
+	// State captures and Restore replays.
+	cnt *countingSource
 	// seed retains the construction seed so Split can derive child streams.
 	seed uint64
 	// splits counts how many children have been derived, making every
@@ -26,8 +29,10 @@ type Rand struct {
 
 // New returns a Rand seeded with seed.
 func New(seed uint64) *Rand {
+	cnt := &countingSource{src: rand.NewSource(int64(mix(seed)))}
 	return &Rand{
-		src:  rand.New(rand.NewSource(int64(mix(seed)))),
+		src:  rand.New(cnt),
+		cnt:  cnt,
 		seed: seed,
 	}
 }

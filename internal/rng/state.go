@@ -1,0 +1,59 @@
+package rng
+
+import "math/rand"
+
+// countingSource feeds a Rand while tallying every raw 63-bit draw taken
+// from the underlying source. The tally is the only extra state needed to
+// checkpoint a stream: a Rand is fully determined by (seed, splits, draws),
+// and restoring means re-seeding and discarding the same number of draws.
+//
+// countingSource deliberately implements only rand.Source (not Source64):
+// math/rand then composes Uint64 from two Int63 calls, which is exactly
+// how the wrapped rngSource implements Uint64 itself, so the output stream
+// is bit-identical to wrapping the source directly — and every state
+// advance funnels through Int63 where it is counted exactly once.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// State is a serializable snapshot of a Rand's stream position. It is
+// deliberately tiny — three words — rather than the generator's internal
+// vector: restore cost is O(draws), which is fine for the control-plane
+// streams that get checkpointed (a cloud ladder ranking draws a handful of
+// samples per failover, not per tick).
+type State struct {
+	// Seed is the construction seed.
+	Seed uint64
+	// Splits is how many child streams have been derived.
+	Splits uint64
+	// Draws is how many raw 63-bit samples have been consumed.
+	Draws uint64
+}
+
+// State captures the stream position for checkpointing.
+func (r *Rand) State() State {
+	return State{Seed: r.seed, Splits: r.splits, Draws: r.cnt.draws}
+}
+
+// Restore reconstructs a Rand at the exact stream position captured by st:
+// the next sample drawn equals the next sample the captured Rand would
+// have drawn, for every distribution helper.
+func Restore(st State) *Rand {
+	r := New(st.Seed)
+	r.splits = st.Splits
+	for i := uint64(0); i < st.Draws; i++ {
+		r.cnt.Int63()
+	}
+	return r
+}
