@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-vet bench bench-json chaos
+.PHONY: all build vet test race check lint lint-vet bench bench-json bench-transport-json chaos
 
 all: check
 
@@ -63,6 +63,18 @@ bench-json:
 		./internal/render ./internal/fog ./internal/selection \
 		./internal/checkpoint \
 		| $(GO) run ./cmd/benchjson -o BENCH_wirepath.json
+
+# Datagram-transport benchmark regression file, same scheme as bench-json:
+# the UDP video hot paths (header append/parse, tracker classification,
+# per-frame datagram send and receive) at a fixed iteration count,
+# converted to BENCH_transport.json. The acceptance bar is the one the TCP
+# wire path set in PR 3: 0 allocs/op in steady state.
+BENCH_TRANSPORT = BenchmarkDatagramHeader|BenchmarkTrackerTrack|BenchmarkDatagramSendFrame|BenchmarkDatagramRecvFrame
+
+bench-transport-json:
+	$(GO) test -bench='$(BENCH_TRANSPORT)' -benchmem -benchtime=2000x -run='^$$' \
+		./internal/transport ./internal/fognet \
+		| $(GO) run ./cmd/benchjson -o BENCH_transport.json
 
 chaos:
 	$(GO) run ./examples/chaos

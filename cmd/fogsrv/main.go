@@ -3,6 +3,7 @@
 // streams per-player game video on its stream address.
 //
 //	fogsrv -cloud 127.0.0.1:7000 -addr 127.0.0.1:7100 -capacity 8
+//	fogsrv -cloud 127.0.0.1:7000 -transport udp   # offer the datagram video path
 //
 // On SIGTERM/SIGINT the supernode departs gracefully: buffered player
 // actions are flushed upstream and the cloud is told goodbye, so the
@@ -30,14 +31,23 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", fognet.DefaultDialTimeout, "cloud dial timeout")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval (0 = silent)")
 	seed := flag.Uint64("seed", 1, "reconnect-jitter seed")
+	transportFlag := flag.String("transport", "tcp",
+		"video transport: tcp | udp (udp opens a datagram socket players can upgrade to; TCP stays the control path and the fallback)")
+	dgramAddr := flag.String("dgram-addr", "",
+		"UDP listen address for -transport udp (default: stream host, ephemeral port)")
 	flag.Parse()
 
-	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery, *seed); err != nil {
+	if *transportFlag != "tcp" && *transportFlag != "udp" {
+		log.Fatalf("fogsrv: -transport must be tcp or udp, got %q", *transportFlag)
+	}
+	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery, *seed,
+		*transportFlag == "udp", *dgramAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration, seed uint64) error {
+func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration,
+	seed uint64, datagram bool, dgramAddr string) error {
 	fog, err := fognet.NewFogNode(fognet.FogConfig{
 		Name:          name,
 		CloudAddr:     cloudAddr,
@@ -46,12 +56,18 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 		FrameInterval: frame,
 		DialTimeout:   dialTimeout,
 		Seed:          seed,
+		Datagram:      datagram,
+		DatagramAddr:  dgramAddr,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d)\n",
-		name, fog.ID(), fog.StreamAddr(), capacity)
+	transport := "tcp"
+	if datagram {
+		transport = "udp (tcp control + fallback)"
+	}
+	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d, transport %s)\n",
+		name, fog.ID(), fog.StreamAddr(), capacity, transport)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -71,8 +87,8 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 			return nil
 		case <-tickCh:
 			s := fog.Stats()
-			fmt.Printf("fogsrv %q: epoch=%d tick=%d attached=%d frames=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d resumes=%d buffered=%d\n",
-				name, s.Epoch, s.ReplicaTick, s.Attached, s.Frames,
+			fmt.Printf("fogsrv %q: epoch=%d tick=%d attached=%d frames=%d dgrams=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d resumes=%d buffered=%d\n",
+				name, s.Epoch, s.ReplicaTick, s.Attached, s.Frames, s.DatagramFrames,
 				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas,
 				s.Resilience.Reconnects, s.Resilience.Resumes, s.BufferedNow)
 		}

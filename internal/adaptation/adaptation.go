@@ -34,6 +34,12 @@ const DefaultTheta = 0.5
 // before the bitrate changes.
 const DefaultDebounce = 3
 
+// DefaultLossDownThreshold is the datagram loss fraction above which the
+// controller treats the link as congested. TCP transport hides loss as
+// retransmit delay (it surfaces through the buffer model); the unreliable
+// datagram transport reports it explicitly via NoteLoss.
+const DefaultLossDownThreshold = 0.05
+
 // MaxBufferSegments bounds the playback buffer: the receiver stops
 // prefetching once this many segments are queued.
 const MaxBufferSegments = 10.0
@@ -71,6 +77,11 @@ type Config struct {
 	// SegmentSec is the segment duration τ. Defaults to
 	// game.SegmentDurationSec.
 	SegmentSec float64
+	// LossDownThreshold is the datagram loss fraction (reported via
+	// NoteLoss) at which the controller refuses up-switches and treats
+	// the window as down-pressure regardless of the buffer estimate.
+	// Defaults to DefaultLossDownThreshold.
+	LossDownThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SegmentSec <= 0 {
 		c.SegmentSec = game.SegmentDurationSec
+	}
+	if c.LossDownThreshold <= 0 || c.LossDownThreshold > 1 {
+		c.LossDownThreshold = DefaultLossDownThreshold
 	}
 	return c
 }
@@ -130,6 +144,10 @@ type Controller struct {
 	upStreak   int
 	downStreak int
 
+	// lastLoss is the most recent datagram loss fraction reported via
+	// NoteLoss; zero on the (lossless by construction) TCP transport.
+	lastLoss float64
+
 	switches int
 }
 
@@ -162,6 +180,27 @@ func (c *Controller) BufferedSegments() float64 {
 
 // Switches returns how many bitrate changes the controller has made.
 func (c *Controller) Switches() int { return c.switches }
+
+// NoteLoss records the datagram loss fraction observed over the most
+// recent measurement window (0..1). It sticks until the next call, so a
+// receiver reporting once per window keeps the controller's view current.
+// Loss at or above LossDownThreshold vetoes up-switches and converts the
+// window into down-pressure: on an unreliable transport a drained buffer
+// is not the first symptom of congestion — missing sequence numbers are.
+func (c *Controller) NoteLoss(fraction float64) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	c.lastLoss = fraction
+}
+
+// Lossy reports whether the last NoteLoss crossed the down threshold.
+func (c *Controller) Lossy() bool {
+	return c.lastLoss >= c.cfg.LossDownThreshold
+}
 
 // UpThreshold returns the rho-scaled up-switch bar (1+β)/ρ.
 func (c *Controller) UpThreshold() float64 { return (1 + c.beta) / c.cfg.Rho }
@@ -206,8 +245,9 @@ func (c *Controller) Observe(nowSec, downloadKbps float64) Decision {
 	// consecutive-estimate rule aims to prevent.
 	canSustainNext := c.level >= c.cfg.MaxLevel ||
 		downloadKbps >= game.MustQuality(c.level+1).BitrateKbps
+	lossy := c.Lossy()
 	switch {
-	case r > c.UpThreshold() && c.level < c.cfg.MaxLevel && canSustainNext:
+	case r > c.UpThreshold() && c.level < c.cfg.MaxLevel && canSustainNext && !lossy:
 		c.upStreak++
 		c.downStreak = 0
 		if c.upStreak >= c.cfg.Debounce {
@@ -216,7 +256,7 @@ func (c *Controller) Observe(nowSec, downloadKbps float64) Decision {
 			c.switches++
 			return Up
 		}
-	case r < c.DownThreshold() && c.level > 1:
+	case (r < c.DownThreshold() || lossy) && c.level > 1:
 		c.downStreak++
 		c.upStreak = 0
 		if c.downStreak >= c.cfg.Debounce {

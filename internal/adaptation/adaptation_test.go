@@ -234,3 +234,50 @@ func TestRhoMakesSensitiveGamesShedEarlier(t *testing.T) {
 		t.Errorf("sensitive game switched later (%d) than tolerant (%d)", sensitive, tolerant)
 	}
 }
+
+func TestLossVetoesUpSwitch(t *testing.T) {
+	c := NewController(Config{Debounce: 3}, 1)
+	c.NoteLoss(0.1) // above DefaultLossDownThreshold
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now += 1
+		// Plenty of bandwidth: without loss this climbs the ladder.
+		if d := c.Observe(now, c.BitrateKbps()*3); d == Up {
+			t.Fatalf("up-switch at step %d despite 10%% datagram loss", i)
+		}
+	}
+	if c.Level() != 1 {
+		t.Errorf("level = %d, want 1 (loss veto)", c.Level())
+	}
+}
+
+func TestLossForcesDownThenRecovers(t *testing.T) {
+	c := NewController(Config{Debounce: 2}, 5)
+	now := 0.0
+	// Build a comfortable buffer first so the down-pressure is loss-driven,
+	// not starvation-driven.
+	for i := 0; i < 20; i++ {
+		now += 1
+		c.Observe(now, c.BitrateKbps()*2)
+	}
+	c.NoteLoss(0.2)
+	for i := 0; i < 10 && c.Level() > 3; i++ {
+		now += 1
+		c.Observe(now, c.BitrateKbps())
+	}
+	if c.Level() >= 5 {
+		t.Fatalf("level = %d, want a down-step under 20%% loss", c.Level())
+	}
+	if !c.Lossy() {
+		t.Error("Lossy() = false at 20% loss")
+	}
+	// Healed link: loss clears, headroom climbs the ladder again.
+	c.NoteLoss(0)
+	for i := 0; i < 200 && c.Level() < 5; i++ {
+		now += 1
+		c.Observe(now, c.BitrateKbps()*3)
+	}
+	if c.Level() != 5 {
+		t.Errorf("level = %d after heal, want 5", c.Level())
+	}
+}

@@ -1,8 +1,10 @@
 // Package conndeadline enforces the failover-critical I/O rule from the
 // fault-tolerant fognet work (DESIGN.md §8): in the live-networking
-// packages (fognet, faultnet), every Read or Write on a net.Conn — and
-// every legacy protocol.ReadMessage/WriteMessage call that drives one —
-// must be preceded, in the same function literal, by a matching
+// packages (fognet, faultnet, transport), every Read or Write on a
+// net.Conn — every legacy protocol.ReadMessage/WriteMessage call that
+// drives one, and every ReadFromUDPAddrPort/WriteToUDPAddrPort on a
+// datagram socket (transport.DatagramConn) — must be preceded, in the
+// same function literal, by a matching
 // SetReadDeadline/SetWriteDeadline/SetDeadline on the same connection
 // expression. A conn without a deadline turns one stalled peer into a
 // permanently wedged goroutine, which is exactly the churn §3.2 says the
@@ -24,12 +26,12 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "conndeadline",
-	Doc:  "net.Conn reads/writes in fognet and faultnet need a deadline set in the same function",
+	Doc:  "net.Conn and datagram-socket I/O in fognet, faultnet, and transport needs a deadline set in the same function",
 	Run:  run,
 }
 
 // livePkgs are the package names carrying real network I/O.
-var livePkgs = map[string]bool{"fognet": true, "faultnet": true}
+var livePkgs = map[string]bool{"fognet": true, "faultnet": true, "transport": true}
 
 // ioKind distinguishes which deadline blesses an operation.
 type ioKind int
@@ -146,6 +148,26 @@ func (c *checker) checkFunc(body *ast.BlockStmt) {
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		// Datagram socket I/O (transport.DatagramConn and everything that
+		// satisfies it, *net.UDPConn included). The method names are
+		// unambiguous, so no interface check is needed — anything exposing
+		// them is a datagram socket.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "ReadFromUDPAddrPort" || sel.Sel.Name == "WriteToUDPAddrPort") {
+			if _, isMethod := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); isMethod {
+				kind, deadline := readOp, "SetReadDeadline"
+				if sel.Sel.Name == "WriteToUDPAddrPort" {
+					kind, deadline = writeOp, "SetWriteDeadline"
+				}
+				expr := types.ExprString(sel.X)
+				if !blessed(expr, kind, call.Pos()) {
+					c.pass.Reportf(call.Pos(),
+						"%s.%s on a datagram socket without a preceding %s/SetDeadline in this function: a stalled peer wedges this goroutine; set a deadline or document the blocking call with //lint:ignore conndeadline <why>",
+						expr, sel.Sel.Name, deadline)
+				}
+			}
 			return true
 		}
 		// Direct conn.Read / conn.Write method calls.

@@ -11,6 +11,10 @@ func TestConnDeadline(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), conndeadline.Analyzer, "fognet")
 }
 
+func TestDatagramConnDeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), conndeadline.Analyzer, "transport")
+}
+
 func TestExemptPackage(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), conndeadline.Analyzer, "other")
 }

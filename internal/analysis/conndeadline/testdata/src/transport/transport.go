@@ -1,0 +1,53 @@
+// Fixture for the conndeadline analyzer: package name "transport" puts
+// it in the live-networking set, and its datagram socket methods
+// (ReadFromUDPAddrPort/WriteToUDPAddrPort) are I/O operations needing a
+// deadline just like stream reads and writes.
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"time"
+)
+
+// Positive: a bare datagram read blocks forever on a silent peer.
+func bareDgramRead(pc *net.UDPConn, buf []byte) (int, netip.AddrPort, error) {
+	return pc.ReadFromUDPAddrPort(buf) // want `pc\.ReadFromUDPAddrPort on a datagram socket without a preceding SetReadDeadline`
+}
+
+// Positive: a bare datagram write can block on a full socket buffer.
+func bareDgramWrite(pc *net.UDPConn, buf []byte, addr netip.AddrPort) (int, error) {
+	return pc.WriteToUDPAddrPort(buf, addr) // want `pc\.WriteToUDPAddrPort on a datagram socket without a preceding SetWriteDeadline`
+}
+
+// Positive: a read deadline does not bless a write.
+func wrongDgramKind(pc *net.UDPConn, buf []byte, addr netip.AddrPort) (int, error) {
+	pc.SetReadDeadline(time.Now().Add(time.Second))
+	return pc.WriteToUDPAddrPort(buf, addr) // want `pc\.WriteToUDPAddrPort on a datagram socket without a preceding SetWriteDeadline`
+}
+
+// Negative: deadline then op, the required shape.
+func guardedDgramRead(pc *net.UDPConn, buf []byte) (int, netip.AddrPort, error) {
+	pc.SetReadDeadline(time.Now().Add(time.Second))
+	return pc.ReadFromUDPAddrPort(buf)
+}
+
+// Negative: SetDeadline covers both directions.
+func guardedDgramBoth(pc *net.UDPConn, buf []byte, addr netip.AddrPort) error {
+	pc.SetDeadline(time.Now().Add(time.Second))
+	if _, err := pc.WriteToUDPAddrPort(buf, addr); err != nil {
+		return err
+	}
+	_, _, err := pc.ReadFromUDPAddrPort(buf)
+	return err
+}
+
+// Negative: a documented, supervised blocking read.
+func supervisedDgramLoop(pc *net.UDPConn, buf []byte) error {
+	for {
+		//lint:ignore conndeadline hello receive loop: close unblocks the read
+		if _, _, err := pc.ReadFromUDPAddrPort(buf); err != nil {
+			return err
+		}
+	}
+}

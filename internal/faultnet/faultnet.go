@@ -112,6 +112,19 @@ type Profile struct {
 	// ResetRate is the per-write probability that the connection
 	// transitions to Reset (an abrupt RST).
 	ResetRate float64
+
+	// Datagram faults, applied per WriteToUDPAddrPort on wrapped packet
+	// conns (see WrapPacketConn). Unlike the stream faults above they
+	// affect single datagrams, not the connection's mode: UDP loss is
+	// per-packet, not per-peer.
+	//
+	// DatagramDropRate is the probability one datagram is eaten.
+	DatagramDropRate float64
+	// DatagramReorderRate is the probability one datagram is held back
+	// and delivered after the next one (a pairwise swap).
+	DatagramReorderRate float64
+	// DatagramDupRate is the probability one datagram is delivered twice.
+	DatagramDupRate float64
 }
 
 // Stats counts injector activity.
@@ -131,6 +144,15 @@ type Stats struct {
 	// RefusedDials counts dials synthetically refused because the target
 	// address was in Reset mode (a "crashed" endpoint).
 	RefusedDials int64
+	// Datagrams counts WriteToUDPAddrPort calls on wrapped packet conns.
+	Datagrams int64
+	// DroppedDatagrams counts datagrams eaten — by DatagramDropRate or by
+	// a non-Healthy per-address mode on either direction.
+	DroppedDatagrams int64
+	// ReorderedDatagrams counts datagrams delivered behind a later one.
+	ReorderedDatagrams int64
+	// DupDatagrams counts extra copies delivered by DatagramDupRate.
+	DupDatagrams int64
 }
 
 // Injector wraps connections and injects the Profile's faults. All wrapped
@@ -155,6 +177,15 @@ func NewInjector(p Profile) *Injector {
 		conns:     make(map[*Conn]struct{}),
 		addrModes: make(map[string]Mode),
 	}
+}
+
+// SetProfile swaps the fault profile for all future decisions — how a
+// chaos test heals (or worsens) a lossy link mid-run. The deterministic
+// decision stream keeps its position; only the rates change.
+func (in *Injector) SetProfile(p Profile) {
+	in.mu.Lock()
+	in.profile = p
+	in.mu.Unlock()
 }
 
 // WrapConn wraps an established connection. The connection inherits any

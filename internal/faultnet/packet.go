@@ -1,0 +1,180 @@
+package faultnet
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"cloudfog/internal/transport"
+)
+
+// WrapPacketConn wraps a datagram socket so the injector's datagram
+// faults apply: per-datagram drop, pairwise reordering, and duplication
+// drawn from the same deterministic decision stream as the stream
+// faults, plus per-address modes — an address forced out of Healthy by
+// SetAddrMode has its datagrams eaten in both directions, which is how a
+// chaos test blackholes one peer's video path while its TCP control
+// session stays up.
+//
+// Unlike stream faults, datagram faults never change a connection's
+// mode: UDP loss is per-packet. The unreliable contract means every
+// fault is silent — writes still report success.
+func (in *Injector) WrapPacketConn(pc transport.DatagramConn) *PacketConn {
+	return &PacketConn{inner: pc, inj: in}
+}
+
+// PacketConn is a fault-injected datagram socket.
+type PacketConn struct {
+	inner transport.DatagramConn
+	inj   *Injector
+
+	mu       sync.Mutex
+	held     []byte // one datagram held back for reordering
+	heldAddr netip.AddrPort
+	heldSet  bool
+}
+
+var _ transport.DatagramConn = (*PacketConn)(nil)
+
+// decideDatagram draws one datagram's fate deterministically. Exactly one
+// of drop/reorder/dup can fire per datagram, drawn in that priority.
+func (in *Injector) decideDatagram() (drop, reorder, dup bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Datagrams++
+	p := in.profile
+	if p.DatagramDropRate > 0 && in.r.Bool(p.DatagramDropRate) {
+		in.stats.DroppedDatagrams++
+		return true, false, false
+	}
+	if p.DatagramReorderRate > 0 && in.r.Bool(p.DatagramReorderRate) {
+		return false, true, false
+	}
+	if p.DatagramDupRate > 0 && in.r.Bool(p.DatagramDupRate) {
+		in.stats.DupDatagrams++
+		return false, false, true
+	}
+	return false, false, false
+}
+
+// addrHealthy reports whether addr carries traffic (no per-address fault
+// mode registered).
+func (in *Injector) addrHealthy(addr string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.addrModes[addr] == Healthy
+}
+
+func (in *Injector) noteDroppedDatagram() {
+	in.mu.Lock()
+	in.stats.DroppedDatagrams++
+	in.mu.Unlock()
+}
+
+func (in *Injector) noteReorderedDatagram() {
+	in.mu.Lock()
+	in.stats.ReorderedDatagrams++
+	in.mu.Unlock()
+}
+
+// WriteToUDPAddrPort applies the datagram fault draw and forwards. Every
+// fault is silent: the reported byte count is always len(b), exactly as
+// a real socket reports a datagram the network later eats.
+func (c *PacketConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	if !c.inj.addrHealthy(addr.String()) {
+		c.inj.noteDroppedDatagram()
+		return len(b), nil
+	}
+	drop, reorder, dup := c.inj.decideDatagram()
+	if drop {
+		return len(b), nil
+	}
+	if reorder {
+		// Hold this datagram back; it goes out after the next write (a
+		// pairwise swap). A second reorder draw while one is already held
+		// releases the older one first — at most one datagram is in
+		// flight, and that release is in order (nothing overtook it), so
+		// it does not count as reordered.
+		c.mu.Lock()
+		prev, prevAddr, had := c.held, c.heldAddr, c.heldSet
+		if had {
+			c.held = nil
+		}
+		c.mu.Unlock()
+		if had {
+			//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetWriteDeadline mirrors onto inner
+			if _, err := c.inner.WriteToUDPAddrPort(prev, prevAddr); err != nil {
+				return 0, err
+			}
+		}
+		c.mu.Lock()
+		c.held = append(c.held[:0], b...)
+		c.heldAddr = addr
+		c.heldSet = true
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetWriteDeadline mirrors onto inner
+	n, err := c.inner.WriteToUDPAddrPort(b, addr)
+	if err != nil {
+		return n, err
+	}
+	if dup {
+		//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetWriteDeadline mirrors onto inner
+		c.inner.WriteToUDPAddrPort(b, addr)
+	}
+	// Release any held datagram behind this one.
+	c.mu.Lock()
+	prev, prevAddr, had := c.held, c.heldAddr, c.heldSet
+	if had {
+		c.held = nil
+		c.heldSet = false
+	}
+	c.mu.Unlock()
+	if had {
+		//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetWriteDeadline mirrors onto inner
+		c.inner.WriteToUDPAddrPort(prev, prevAddr)
+		c.inj.noteReorderedDatagram()
+	}
+	return n, err
+}
+
+// ReadFromUDPAddrPort forwards reads, silently eating datagrams from
+// addresses with a non-Healthy per-address mode — the receive half of a
+// datagram blackhole.
+func (c *PacketConn) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	for {
+		//lint:ignore conndeadline pass-through wrapper: deadline discipline is the caller's; SetReadDeadline mirrors onto inner
+		n, addr, err := c.inner.ReadFromUDPAddrPort(b)
+		if err != nil {
+			return n, addr, err
+		}
+		if c.inj.addrHealthy(addr.String()) {
+			return n, addr, nil
+		}
+		c.inj.noteDroppedDatagram()
+	}
+}
+
+// LocalAddr returns the underlying bound address.
+func (c *PacketConn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// SetReadDeadline forwards to the underlying socket.
+func (c *PacketConn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the underlying socket.
+func (c *PacketConn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Close closes the underlying socket. A datagram still held for
+// reordering is dropped with it — the network ate it.
+func (c *PacketConn) Close() error {
+	c.mu.Lock()
+	if c.heldSet {
+		c.held = nil
+		c.heldSet = false
+		c.inj.noteDroppedDatagram()
+	}
+	c.mu.Unlock()
+	return c.inner.Close()
+}

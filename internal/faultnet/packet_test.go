@@ -1,0 +1,169 @@
+package faultnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cloudfog/internal/transport"
+)
+
+// drain reads every queued datagram's first byte until the pipe is empty.
+func drain(t *testing.T, dc transport.DatagramConn) []byte {
+	t.Helper()
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		dc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		n, _, err := dc.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return got
+		}
+		if n > 0 {
+			got = append(got, buf[0])
+		}
+	}
+}
+
+func TestPacketConnDropRateDeterministic(t *testing.T) {
+	run := func() (delivered []byte, stats Stats) {
+		in := NewInjector(Profile{Seed: 42, DatagramDropRate: 0.3})
+		a, b := transport.NewDatagramPipe(2048)
+		defer a.Close()
+		defer b.Close()
+		pc := in.WrapPacketConn(a)
+		for i := 0; i < 1000; i++ {
+			pc.SetWriteDeadline(time.Now().Add(time.Second))
+			if _, err := pc.WriteToUDPAddrPort([]byte{byte(i)}, netip.AddrPort{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drain(t, b), in.Stats()
+	}
+	got1, stats := run()
+	if stats.Datagrams != 1000 {
+		t.Errorf("datagrams = %d", stats.Datagrams)
+	}
+	// ~30% dropped, with deterministic draws.
+	if stats.DroppedDatagrams < 200 || stats.DroppedDatagrams > 400 {
+		t.Errorf("dropped = %d, want ~300", stats.DroppedDatagrams)
+	}
+	if int64(len(got1))+stats.DroppedDatagrams != 1000 {
+		t.Errorf("delivered %d + dropped %d != 1000", len(got1), stats.DroppedDatagrams)
+	}
+	got2, stats2 := run()
+	if string(got1) != string(got2) || stats != stats2 {
+		t.Error("identical seeds must replay identical datagram fates")
+	}
+}
+
+func TestPacketConnReorderSwapsPairs(t *testing.T) {
+	in := NewInjector(Profile{Seed: 7, DatagramReorderRate: 0.25})
+	a, b := transport.NewDatagramPipe(2048)
+	defer a.Close()
+	defer b.Close()
+	pc := in.WrapPacketConn(a)
+	const n = 250 // byte sequence must not wrap: the swap count below compares values
+	for i := 0; i < n; i++ {
+		pc.SetWriteDeadline(time.Now().Add(time.Second))
+		pc.WriteToUDPAddrPort([]byte{byte(i)}, netip.AddrPort{})
+	}
+	got := drain(t, b)
+	stats := in.Stats()
+	if stats.ReorderedDatagrams == 0 {
+		t.Fatal("no datagrams reordered at 25% rate")
+	}
+	// Nothing lost (one may be held at the end), and the out-of-order
+	// count observed by the receiver matches the injector's accounting.
+	if len(got) < n-1 {
+		t.Errorf("delivered %d of %d", len(got), n)
+	}
+	swaps := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			swaps++
+		}
+	}
+	if int64(swaps) != stats.ReorderedDatagrams {
+		t.Errorf("observed %d swaps, injector counted %d", swaps, stats.ReorderedDatagrams)
+	}
+}
+
+func TestPacketConnDuplicates(t *testing.T) {
+	in := NewInjector(Profile{Seed: 3, DatagramDupRate: 0.5})
+	a, b := transport.NewDatagramPipe(2048)
+	defer a.Close()
+	defer b.Close()
+	pc := in.WrapPacketConn(a)
+	const n = 200
+	for i := 0; i < n; i++ {
+		pc.SetWriteDeadline(time.Now().Add(time.Second))
+		pc.WriteToUDPAddrPort([]byte{byte(i)}, netip.AddrPort{})
+	}
+	got := drain(t, b)
+	stats := in.Stats()
+	if stats.DupDatagrams == 0 {
+		t.Fatal("no duplicates at 50% rate")
+	}
+	if int64(len(got)) != int64(n)+stats.DupDatagrams {
+		t.Errorf("delivered %d, want %d originals + %d dups", len(got), n, stats.DupDatagrams)
+	}
+}
+
+func TestPacketConnAddrBlackholeBothDirections(t *testing.T) {
+	in := NewInjector(Profile{Seed: 1})
+	a, b := transport.NewDatagramPipe(64)
+	defer a.Close()
+	defer b.Close()
+	pc := in.WrapPacketConn(a)
+
+	dead := netip.MustParseAddrPort("10.9.9.9:999")
+	in.SetAddrMode(dead.String(), Blackhole)
+
+	// Write direction: datagrams to the blackholed address are eaten.
+	pc.SetWriteDeadline(time.Now().Add(time.Second))
+	pc.WriteToUDPAddrPort([]byte{1}, dead)
+	if got := drain(t, b); len(got) != 0 {
+		t.Errorf("blackholed write delivered: %v", got)
+	}
+
+	// Read direction: datagrams from a blackholed source are eaten. The
+	// pipe's peer address is 127.0.0.1:2.
+	in.SetAddrMode("127.0.0.1:2", Blackhole)
+	b.SetWriteDeadline(time.Now().Add(time.Second))
+	b.WriteToUDPAddrPort([]byte{2}, netip.AddrPort{})
+	buf := make([]byte, 8)
+	pc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := pc.ReadFromUDPAddrPort(buf); err == nil {
+		t.Error("read from blackholed source delivered")
+	}
+	if s := in.Stats(); s.DroppedDatagrams != 2 {
+		t.Errorf("dropped = %d, want 2", s.DroppedDatagrams)
+	}
+
+	// Healing restores delivery.
+	in.SetAddrMode("127.0.0.1:2", Healthy)
+	b.SetWriteDeadline(time.Now().Add(time.Second))
+	b.WriteToUDPAddrPort([]byte{3}, netip.AddrPort{})
+	pc.SetReadDeadline(time.Now().Add(time.Second))
+	n, _, err := pc.ReadFromUDPAddrPort(buf)
+	if err != nil || n != 1 || buf[0] != 3 {
+		t.Errorf("healed read: n=%d err=%v", n, err)
+	}
+}
+
+func TestPacketConnCloseDropsHeld(t *testing.T) {
+	in := NewInjector(Profile{Seed: 9, DatagramReorderRate: 1})
+	a, b := transport.NewDatagramPipe(64)
+	defer b.Close()
+	pc := in.WrapPacketConn(a)
+	pc.SetWriteDeadline(time.Now().Add(time.Second))
+	pc.WriteToUDPAddrPort([]byte{1}, netip.AddrPort{}) // held for reordering
+	pc.Close()
+	if got := drain(t, b); len(got) != 0 {
+		t.Errorf("held datagram leaked on close: %v", got)
+	}
+	if s := in.Stats(); s.DroppedDatagrams != 1 {
+		t.Errorf("dropped = %d, want 1", s.DroppedDatagrams)
+	}
+}

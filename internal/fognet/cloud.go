@@ -38,6 +38,7 @@ import (
 	"cloudfog/internal/reputation"
 	"cloudfog/internal/rng"
 	"cloudfog/internal/selection"
+	"cloudfog/internal/transport"
 	"cloudfog/internal/virtualworld"
 )
 
@@ -56,20 +57,19 @@ const (
 	// DefaultHeartbeatMisses is how many unanswered heartbeats evict a
 	// supernode.
 	DefaultHeartbeatMisses = 3
-	// DefaultWriteTimeout bounds any single protocol write.
-	DefaultWriteTimeout = 2 * time.Second
+	// DefaultWriteTimeout bounds any single protocol write. The timeout
+	// policy lives on the transport seam; re-exported for compatibility.
+	DefaultWriteTimeout = transport.DefaultWriteTimeout
 	// DefaultSendQueueLen bounds the per-supernode outbound queue.
 	DefaultSendQueueLen = 64
 	// DefaultDialTimeout bounds connection establishment.
-	DefaultDialTimeout = 5 * time.Second
-	// handshakeTimeout bounds the first message of a new connection, so a
-	// connect-and-hang client cannot pin a handler goroutine forever.
-	handshakeTimeout = 5 * time.Second
+	DefaultDialTimeout = transport.DefaultDialTimeout
 )
 
 // DialFunc establishes an outbound connection; it exists so tests and the
-// chaos demo can route dials through faultnet injectors.
-type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+// chaos demo can route dials through faultnet injectors. It is the
+// transport seam's dial hook.
+type DialFunc = transport.DialFunc
 
 // CloudConfig parameterizes a CloudServer.
 type CloudConfig struct {
@@ -128,7 +128,10 @@ type CloudConfig struct {
 
 // CloudServer is the authoritative game-state tier.
 type CloudServer struct {
-	cfg      CloudConfig
+	cfg CloudConfig
+	// tc is the transport seam's timeout policy: handshake deadlines and
+	// write bounds for every accepted connection flow from here.
+	tc       transport.Config
 	listener net.Listener
 	// epoch is the authority epoch; immutable for the server's lifetime
 	// (a failover starts a new CloudServer with a higher epoch).
@@ -310,9 +313,8 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = DefaultHeartbeatMisses
 	}
-	if cfg.WriteTimeout <= 0 {
-		cfg.WriteTimeout = DefaultWriteTimeout
-	}
+	tc := transport.Config{WriteTimeout: cfg.WriteTimeout}.WithDefaults()
+	cfg.WriteTimeout = tc.WriteTimeout
 	if cfg.SendQueueLen <= 0 {
 		cfg.SendQueueLen = DefaultSendQueueLen
 	}
@@ -328,7 +330,10 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
-		ln, err = net.Listen("tcp", cfg.Addr)
+		// WrapConn is applied in acceptLoop rather than via the
+		// transport's listener wrapper so a handed-over standby listener
+		// gets identical fault injection.
+		ln, err = transport.TCP{Config: tc}.Listen(cfg.Addr)
 		if err != nil {
 			return nil, fmt.Errorf("cloud listen: %w", err)
 		}
@@ -368,6 +373,7 @@ func NewCloudServer(cfg CloudConfig) (*CloudServer, error) {
 	}
 	s := &CloudServer{
 		cfg:          cfg,
+		tc:           tc,
 		listener:     ln,
 		epoch:        cfg.Epoch,
 		restoredHash: restoredHash,
@@ -983,7 +989,7 @@ func (s *CloudServer) broadcastCandidates() {
 // connection cannot pin this goroutine.
 func (s *CloudServer) handleConn(conn net.Conn) {
 	defer s.wg.Done()
-	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	conn.SetReadDeadline(time.Now().Add(s.tc.HandshakeTimeout))
 	typ, payload, err := protocol.ReadMessage(conn)
 	if err != nil {
 		conn.Close()
@@ -1139,7 +1145,7 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 	if protocol.WriteMessage(conn, protocol.MsgProbeReply, reply.Marshal()) != nil {
 		return
 	}
-	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	conn.SetReadDeadline(time.Now().Add(s.tc.HandshakeTimeout))
 	typ, payload, err := protocol.ReadMessage(conn)
 	if err != nil || typ != protocol.MsgPlayerAttach {
 		return
@@ -1162,8 +1168,11 @@ func (s *CloudServer) serveFallbackStream(conn net.Conn) {
 		s.fallbackLive--
 		s.mu.Unlock()
 	}()
+	// The cloud's fallback stream never upgrades to datagrams (nil
+	// offer): the last rung of the ladder favors the transport that
+	// works everywhere over the one that performs best.
 	runVideoSession(conn, attach.PlayerID, game.QualityLevel(attach.QualityLevel),
-		DefaultFrameInterval, s.cfg.WriteTimeout, s, cloudFallbackCounters{s}, s, s.stop, &s.wg)
+		DefaultFrameInterval, s.cfg.WriteTimeout, s, cloudFallbackCounters{s}, s, nil, s.stop, &s.wg)
 }
 
 // submitAction implements actionSink for cloud-fallback video sessions:

@@ -1,0 +1,176 @@
+package fognet
+
+import (
+	"net/netip"
+	"testing"
+
+	"cloudfog/internal/game"
+	"cloudfog/internal/render"
+	"cloudfog/internal/transport"
+	"cloudfog/internal/videocodec"
+	"cloudfog/internal/virtualworld"
+)
+
+// benchEncodedFrame renders and encodes one realistic frame, the payload
+// both datagram-path benchmarks carry.
+func benchEncodedFrame(level int) *videocodec.EncodedFrame {
+	w := virtualworld.New(400, 400)
+	w.SpawnAvatar(1, 100, 100)
+	for i := 0; i < 5; i++ {
+		w.Step([]virtualworld.Action{{Player: 1, Kind: virtualworld.ActMove, TargetX: 300, TargetY: 300}})
+	}
+	snap := w.Snapshot()
+	renderer := render.NewRenderer(render.ResolutionForLevel(level))
+	encoder := videocodec.NewEncoder(game.MustQuality(game.QualityLevel(level)).BitrateKbps)
+	frame := render.NewFrame(renderer.Resolution())
+	renderer.RenderInto(snap, render.ViewportFor(snap, 1), frame)
+	var ef videocodec.EncodedFrame
+	encoder.EncodeInto(frame, &ef)
+	return &ef
+}
+
+// benchDgramSession builds a live (hello-received) datagram session over
+// a Discard socket, exactly the state sendFrame runs in per frame.
+func benchDgramSession() *dgramSession {
+	dg := &fogDatagram{pc: transport.Discard}
+	s := &dgramSession{dg: dg, token: 0x1234, epoch: 1}
+	s.setRemote(netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 9), dg)
+	return s
+}
+
+// BenchmarkDatagramSendFrame measures the fog's per-frame UDP send path
+// as the 30 fps loop runs it: the 33-byte header append, the encoded
+// frame append, and one datagram write, all into the session's reused
+// buffer. Steady state: 0 allocs/op.
+func BenchmarkDatagramSendFrame(b *testing.B) {
+	ef := benchEncodedFrame(3)
+	sess := benchDgramSession()
+	buf := make([]byte, 0, transport.MaxDatagram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sent bool
+		buf, sent = sess.sendFrame(buf, ef, uint64(i))
+		if !sent {
+			b.Fatal("frame not sent")
+		}
+	}
+}
+
+// BenchmarkDatagramRecvFrame measures the player's per-datagram receive
+// path: parse the header, classify against the tracker, unmarshal the
+// frame (aliasing the receive buffer), and decode into the reused
+// reference frame. Steady state: 0 allocs/op.
+func BenchmarkDatagramRecvFrame(b *testing.B) {
+	ef := benchEncodedFrame(3)
+	dgram := transport.Header{Kind: transport.DgramFrame, Token: 1, Epoch: 1, Seq: 0}.
+		AppendTo(make([]byte, 0, transport.MaxDatagram))
+	dgram = ef.AppendTo(dgram)
+	var hdr transport.Header
+	var tr transport.RecvTracker
+	var dec videocodec.Decoder
+	var rx videocodec.EncodedFrame
+	var frame render.Frame
+	// Warm-up: the first decode sizes the reference frame's pixel buffers.
+	if _, err := transport.ParseHeader(dgram, &hdr); err != nil {
+		b.Fatal(err)
+	}
+	if err := videocodec.UnmarshalFrameInto(dgram[transport.HeaderLen:], &rx); err != nil {
+		b.Fatal(err)
+	}
+	if err := dec.DecodeInto(&rx, &frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Advance the sequence in place so every datagram is fresh.
+		seq := uint64(i + 1)
+		for j := 0; j < 8; j++ {
+			dgram[17+j] = byte(seq >> (56 - 8*j))
+		}
+		payload, err := transport.ParseHeader(dgram, &hdr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := tr.Track(hdr.Epoch, hdr.Seq); v != transport.Fresh {
+			b.Fatalf("verdict %v at seq %d", v, seq)
+		}
+		if err := videocodec.UnmarshalFrameInto(payload, &rx); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeInto(&rx, &frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDatagramSendSteadyStateAllocs pins the send benchmark's property as
+// a regression test, the same bar as the TCP wire path: after warm-up,
+// one frame datagram costs zero allocations.
+func TestDatagramSendSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts only hold without the race detector")
+	}
+	ef := benchEncodedFrame(3)
+	sess := benchDgramSession()
+	buf := make([]byte, 0, transport.MaxDatagram)
+	tick := uint64(0)
+	cycle := func() {
+		tick++
+		var sent bool
+		buf, sent = sess.sendFrame(buf, ef, tick)
+		if !sent {
+			t.Fatal("frame not sent")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(64, cycle); n != 0 {
+		t.Fatalf("datagram send allocates %.1f/op in steady state, want 0", n)
+	}
+}
+
+// TestDatagramRecvSteadyStateAllocs pins the receive path: parse, track,
+// unmarshal, decode — zero allocations per datagram after warm-up.
+func TestDatagramRecvSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts only hold without the race detector")
+	}
+	ef := benchEncodedFrame(3)
+	dgram := transport.Header{Kind: transport.DgramFrame, Token: 1, Epoch: 1, Seq: 0}.
+		AppendTo(make([]byte, 0, transport.MaxDatagram))
+	dgram = ef.AppendTo(dgram)
+	var hdr transport.Header
+	var tr transport.RecvTracker
+	var dec videocodec.Decoder
+	var rx videocodec.EncodedFrame
+	var frame render.Frame
+	seq := uint64(0)
+	cycle := func() {
+		seq++
+		for j := 0; j < 8; j++ {
+			dgram[17+j] = byte(seq >> (56 - 8*j))
+		}
+		payload, err := transport.ParseHeader(dgram, &hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := tr.Track(hdr.Epoch, hdr.Seq); v != transport.Fresh {
+			t.Fatalf("verdict %v at seq %d", v, seq)
+		}
+		if err := videocodec.UnmarshalFrameInto(payload, &rx); err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeInto(&rx, &frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(64, cycle); n != 0 {
+		t.Fatalf("datagram receive allocates %.1f/op in steady state, want 0", n)
+	}
+}

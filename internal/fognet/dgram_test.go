@@ -1,0 +1,328 @@
+package fognet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cloudfog/internal/adaptation"
+	"cloudfog/internal/faultnet"
+	"cloudfog/internal/game"
+	"cloudfog/internal/transport"
+)
+
+// startDgramFog creates a fog node with the UDP video path enabled,
+// optionally behind a faultnet datagram wrapper.
+func startDgramFog(t *testing.T, cloud *CloudServer, name string, wrap transport.WrapDatagramFunc) *FogNode {
+	t.Helper()
+	fog, err := NewFogNode(FogConfig{
+		Name:          name,
+		CloudAddr:     cloud.Addr(),
+		Capacity:      4,
+		FrameInterval: 10 * time.Millisecond,
+		Datagram:      true,
+		WrapDatagram:  wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fog.Close() })
+	return fog
+}
+
+func TestDatagramVideoEndToEnd(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startDgramFog(t, cloud, "fog-1", nil)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       31,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Datagram:       true,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	// The upgrade must complete and the frames must actually ride UDP:
+	// session counted on both ends, datagram frames flowing, and the
+	// decoded stream depicting a recent world tick — proof the cloud →
+	// fog → UDP → decoder loop closed.
+	waitFor(t, 8*time.Second, "datagram video", func() bool {
+		s := player.Stats()
+		return s.DatagramSessions >= 1 && s.DatagramFrames >= 20 && s.LastTick > 0
+	})
+	s := player.Stats()
+	if s.DecodeErrors > s.Frames/10 {
+		t.Errorf("decode errors over UDP: %d of %d frames", s.DecodeErrors, s.Frames)
+	}
+	fs := fog.Stats()
+	if fs.DatagramSessions < 1 || fs.DatagramHellos < 1 || fs.DatagramFrames < 20 {
+		t.Errorf("fog datagram stats: %+v", fs)
+	}
+	// Control stays on TCP: the goodbye must still tear the session down
+	// cleanly (the fog sees the Bye on the stream connection and drops
+	// the datagram session with it).
+	player.Close()
+	waitFor(t, 2*time.Second, "session teardown", func() bool {
+		return fog.Stats().Attached == 0
+	})
+}
+
+func TestDatagramRefusedFallsBackToTCP(t *testing.T) {
+	cloud := startCloud(t)
+	// This fog never opened a UDP socket: the request must be refused and
+	// the session must keep streaming over TCP as if nothing happened.
+	startFog(t, cloud, "fog-1", 4)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       32,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Datagram:       true,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	waitFor(t, 8*time.Second, "TCP frames after refusal", func() bool {
+		s := player.Stats()
+		return s.Frames >= 20 && s.DatagramFallbacks >= 1
+	})
+	s := player.Stats()
+	if s.DatagramSessions != 0 || s.DatagramFrames != 0 {
+		t.Errorf("refused upgrade still delivered datagrams: %+v", s)
+	}
+}
+
+func TestDatagramCloudFallbackStaysTCP(t *testing.T) {
+	cloud := startCloud(t)
+	// No supernodes at all: the player lands on the cloud's own stream,
+	// which never upgrades — the request is not even sent.
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       33,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Datagram:       true,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	waitFor(t, 8*time.Second, "cloud fallback frames", func() bool {
+		return player.Stats().Frames >= 10
+	})
+	s := player.Stats()
+	if s.FallbackTransitions < 1 {
+		t.Errorf("expected a cloud fallback, got %+v", s)
+	}
+	if s.DatagramSessions != 0 || s.DatagramFrames != 0 {
+		t.Errorf("cloud stream upgraded to datagrams: %+v", s)
+	}
+}
+
+// TestDatagramChaosStaleNeverDelivered runs the UDP video path through a
+// faultnet profile that drops, reorders, and duplicates datagrams. The
+// receiver's ordering discipline must hold: late and duplicated frames
+// are dropped at the tracker (DatagramStale / DatagramDuplicates), every
+// reordered frame is a dropped frame (Reordered ⊆ Stale), and the
+// decoded stream stays clean — the decoder only ever sees frames in
+// order, so chaos shows up as skipped frames, not corruption.
+func TestDatagramChaosStaleNeverDelivered(t *testing.T) {
+	in := faultnet.NewInjector(faultnet.Profile{
+		Seed:                11,
+		DatagramDropRate:    0.10,
+		DatagramReorderRate: 0.15,
+		DatagramDupRate:     0.05,
+	})
+	cloud := startCloud(t)
+	startDgramFog(t, cloud, "fog-1", func(dc transport.DatagramConn) transport.DatagramConn {
+		return in.WrapPacketConn(dc)
+	})
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       34,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Datagram:       true,
+		Adapt:          true,
+		Seed:           6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	waitFor(t, 10*time.Second, "chaos datagram stream", func() bool {
+		s := player.Stats()
+		return s.DatagramFrames >= 60 && s.DatagramStale+s.DatagramDuplicates >= 1
+	})
+	s := player.Stats()
+	ist := in.Stats()
+	if ist.DroppedDatagrams == 0 || ist.ReorderedDatagrams == 0 {
+		t.Fatalf("chaos profile did not bite: %+v", ist)
+	}
+	// Reordered is the subset of stale drops that did arrive late: it can
+	// never exceed the stale count, because a reordered frame is always
+	// dropped rather than delivered.
+	if s.DatagramReordered > s.DatagramStale {
+		t.Errorf("reordered (%d) > stale (%d): a late frame was not dropped",
+			s.DatagramReordered, s.DatagramStale)
+	}
+	// The decoder only saw in-order frames, so the stream stayed
+	// decodable despite the chaos.
+	if s.DecodeErrors > s.Frames/5 {
+		t.Errorf("decode errors under chaos: %d of %d frames", s.DecodeErrors, s.Frames)
+	}
+	if s.LastTick == 0 {
+		t.Error("no world progress decoded under chaos")
+	}
+}
+
+// TestAdaptationUnderDatagramLossEndToEnd wires the loss signal through
+// the whole stack: faultnet drops 20% of the fog's frame datagrams, the
+// player's tracker measures it, the controller sheds levels, and the
+// smoothed loss feeds the QoE accounting. Healing the link clears the
+// signal.
+func TestAdaptationUnderDatagramLossEndToEnd(t *testing.T) {
+	in := faultnet.NewInjector(faultnet.Profile{Seed: 13, DatagramDropRate: 0.20})
+	cloud := startCloud(t)
+	startDgramFog(t, cloud, "fog-1", func(dc transport.DatagramConn) transport.DatagramConn {
+		return in.WrapPacketConn(dc)
+	})
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       35,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Datagram:       true,
+		Adapt:          true,
+		Game:           game.Catalog()[4],
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	initial := game.Catalog()[4].DefaultQuality
+	waitFor(t, 10*time.Second, "loss-driven down-switch", func() bool {
+		s := player.Stats()
+		return s.DatagramSessions >= 1 && s.Level < initial &&
+			s.DatagramLost > 0 && s.LossEWMA > 0
+	})
+	if in.Stats().DroppedDatagrams == 0 {
+		t.Fatal("faultnet dropped nothing; the loss came from elsewhere")
+	}
+
+	// Heal the link: the measured loss decays below the down threshold
+	// and the stream keeps delivering.
+	in.SetProfile(faultnet.Profile{})
+	before := player.Stats().Frames
+	waitFor(t, 10*time.Second, "loss signal decay after heal", func() bool {
+		s := player.Stats()
+		return s.LossEWMA < adaptation.DefaultLossDownThreshold && s.Frames > before+20
+	})
+}
+
+// TestAdaptationStepsDownAndRecoversUnderFaultnetLoss is the
+// deterministic half of the loss coverage: real faultnet drops on a
+// datagram pipe, a real RecvTracker measuring them, and the §3.3
+// controller reacting — no sockets, no timers, no flakes. The controller
+// must shed a level while ~15% of datagrams vanish and climb back once
+// the link heals.
+func TestAdaptationStepsDownAndRecoversUnderFaultnetLoss(t *testing.T) {
+	in := faultnet.NewInjector(faultnet.Profile{Seed: 21, DatagramDropRate: 0.15})
+	a, b := transport.NewDatagramPipe(256)
+	defer a.Close()
+	defer b.Close()
+	send := in.WrapPacketConn(a)
+
+	ctrl := adaptation.NewController(adaptation.Config{Debounce: 2}, 5)
+	var tr transport.RecvTracker
+	var hdr transport.Header
+	buf := make([]byte, 0, transport.HeaderLen)
+	recv := make([]byte, transport.HeaderLen)
+	seq := uint64(0)
+	to := netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 2)
+
+	// window pushes n datagrams through the faulty link, tracks what
+	// survives, and returns the measured loss fraction.
+	window := func(n int) float64 {
+		for i := 0; i < n; i++ {
+			seq++
+			h := transport.Header{Kind: transport.DgramFrame, Token: 1, Epoch: 1, Seq: seq}
+			buf = h.AppendTo(buf[:0])
+			if _, err := send.WriteToUDPAddrPort(buf, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			b.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+			n, _, err := b.ReadFromUDPAddrPort(recv)
+			if err != nil {
+				break // drained
+			}
+			if _, perr := transport.ParseHeader(recv[:n], &hdr); perr != nil {
+				t.Fatal(perr)
+			}
+			tr.Track(hdr.Epoch, hdr.Seq)
+		}
+		delivered, lost, _ := tr.TakeWindow()
+		if delivered+lost == 0 {
+			return 0
+		}
+		return float64(lost) / float64(delivered+lost)
+	}
+
+	// Build a comfortable buffer so the down-pressure is loss-driven.
+	now := 0.0
+	for i := 0; i < 20; i++ {
+		now += 1
+		ctrl.NoteLoss(window(50))
+		ctrl.Observe(now, ctrl.BitrateKbps()*2)
+	}
+	if ctrl.Level() >= 5 && !ctrl.Lossy() {
+		t.Fatalf("15%% faultnet drop not measured as loss: level=%d", ctrl.Level())
+	}
+	for i := 0; i < 10 && ctrl.Level() > 3; i++ {
+		now += 1
+		ctrl.NoteLoss(window(50))
+		ctrl.Observe(now, ctrl.BitrateKbps())
+	}
+	if ctrl.Level() >= 5 {
+		t.Fatalf("level = %d, want a down-step under measured loss", ctrl.Level())
+	}
+	if tr.Stats().Lost == 0 {
+		t.Fatal("tracker measured no loss")
+	}
+	dropped := in.Stats().DroppedDatagrams
+	if dropped == 0 {
+		t.Fatal("injector dropped nothing")
+	}
+	// The tracker can only see gaps in front of a later arrival, so its
+	// loss count is bounded by what faultnet actually ate.
+	if got := tr.Stats().Lost; int64(got) > dropped {
+		t.Errorf("tracker lost %d > injector dropped %d", got, dropped)
+	}
+
+	// Heal: loss clears and headroom climbs the ladder back.
+	in.SetProfile(faultnet.Profile{})
+	for i := 0; i < 200 && ctrl.Level() < 5; i++ {
+		now += 1
+		ctrl.NoteLoss(window(50))
+		ctrl.Observe(now, ctrl.BitrateKbps()*3)
+	}
+	if ctrl.Level() != 5 {
+		t.Errorf("level = %d after heal, want 5", ctrl.Level())
+	}
+	if ctrl.Lossy() {
+		t.Error("Lossy() still true after heal")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cloudfog/internal/game"
 	"cloudfog/internal/protocol"
 	"cloudfog/internal/rng"
+	"cloudfog/internal/transport"
 	"cloudfog/internal/virtualworld"
 )
 
@@ -54,6 +55,20 @@ type FogConfig struct {
 	// Dial, when set, replaces net.DialTimeout — the faultnet injection
 	// point for chaos tests.
 	Dial DialFunc
+	// Datagram enables the unreliable UDP video path: the node opens a
+	// UDP socket next to the stream listener and offers it to players
+	// that send MsgDatagramRequest after attaching. TCP stays the
+	// default and the fallback — a player that never requests (or whose
+	// hello never arrives) streams over the session connection exactly
+	// as before.
+	Datagram bool
+	// DatagramAddr is the UDP listen address for the datagram video
+	// path. Defaults to the stream listener's host with an ephemeral
+	// port.
+	DatagramAddr string
+	// WrapDatagram, when set, wraps the UDP socket — the faultnet
+	// injection point for lossy-path chaos tests.
+	WrapDatagram transport.WrapDatagramFunc
 }
 
 // FogResilience groups the supernode's failure-handling counters.
@@ -89,8 +104,14 @@ const maxBufferedActionsPerPlayer = 64
 // FogNode is one supernode: it replicates the world and renders/streams
 // per-player video.
 type FogNode struct {
-	cfg      FogConfig
+	cfg FogConfig
+	// tc/tp are the transport seam: every dial, handshake deadline, and
+	// write bound the node applies flows from this one policy.
+	tc       transport.Config
+	tp       transport.TCP
 	listener net.Listener
+	// dgram is the UDP video path, nil unless cfg.Datagram is set.
+	dgram *fogDatagram
 
 	mu        sync.Mutex
 	cloud     net.Conn
@@ -140,27 +161,27 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	if cfg.StreamAddr == "" {
 		cfg.StreamAddr = "127.0.0.1:0"
 	}
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = DefaultDialTimeout
-	}
-	if cfg.WriteTimeout <= 0 {
-		cfg.WriteTimeout = DefaultWriteTimeout
-	}
+	tc := transport.Config{
+		DialTimeout:  cfg.DialTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	}.WithDefaults()
+	cfg.DialTimeout = tc.DialTimeout
+	cfg.WriteTimeout = tc.WriteTimeout
 	if cfg.ReconnectBackoff <= 0 {
 		cfg.ReconnectBackoff = DefaultReconnectBackoff
 	}
 	if cfg.ReconnectBackoffMax <= 0 {
 		cfg.ReconnectBackoffMax = DefaultReconnectBackoffMax
 	}
-	if cfg.Dial == nil {
-		cfg.Dial = net.DialTimeout
-	}
-	ln, err := net.Listen("tcp", cfg.StreamAddr)
+	tp := transport.TCP{Config: tc, DialFunc: cfg.Dial}
+	ln, err := tp.Listen(cfg.StreamAddr)
 	if err != nil {
 		return nil, fmt.Errorf("fog listen: %w", err)
 	}
 	f := &FogNode{
 		cfg:       cfg,
+		tc:        tc,
+		tp:        tp,
 		listener:  ln,
 		attached:  make(map[int32]struct{}),
 		actionQ:   make(map[int32][]virtualworld.Action),
@@ -168,8 +189,19 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 		jitter:    rng.New(cfg.Seed).SplitNamed("fog-reconnect-" + cfg.Name),
 		stop:      make(chan struct{}),
 	}
+	if cfg.Datagram {
+		f.dgram, err = newFogDatagram(cfg.DatagramAddr, ln.Addr().String(),
+			cfg.WrapDatagram, tc.WriteTimeout, cfg.Seed)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("fog datagram listen: %w", err)
+		}
+	}
 	conn, welcome, err := f.connectCloud()
 	if err != nil {
+		if f.dgram != nil {
+			f.dgram.close()
+		}
 		ln.Close()
 		return nil, err
 	}
@@ -193,7 +225,7 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 // handshake runs under deadlines.
 func (f *FogNode) connectCloud() (net.Conn, protocol.SupernodeWelcome, error) {
 	var zero protocol.SupernodeWelcome
-	conn, err := f.cfg.Dial("tcp", f.cfg.CloudAddr, f.cfg.DialTimeout)
+	conn, err := f.tp.Dial(f.cfg.CloudAddr)
 	if err != nil {
 		return nil, zero, fmt.Errorf("fog dial cloud: %w", err)
 	}
@@ -202,7 +234,7 @@ func (f *FogNode) connectCloud() (net.Conn, protocol.SupernodeWelcome, error) {
 		Capacity:   f.cfg.Capacity,
 		StreamAddr: f.listener.Addr().String(),
 	}
-	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	conn.SetDeadline(time.Now().Add(f.tc.HandshakeTimeout))
 	if err := protocol.WriteMessage(conn, protocol.MsgSupernodeHello, hello.Marshal()); err != nil {
 		conn.Close()
 		return nil, zero, fmt.Errorf("fog register: %w", err)
@@ -233,6 +265,9 @@ func (f *FogNode) ID() uint32 {
 
 func (f *FogNode) closeAll() {
 	f.listener.Close()
+	if f.dgram != nil {
+		f.dgram.close()
+	}
 	f.mu.Lock()
 	cloud := f.cloud
 	f.mu.Unlock()
@@ -290,6 +325,16 @@ type FogStats struct {
 	// Probes counts capacity probes answered — how often this supernode
 	// was tried during §3.2 selection, whether or not a player attached.
 	Probes int64
+	// DatagramSessions counts video sessions that went live over UDP (a
+	// hello arrived and frames switched to datagrams).
+	DatagramSessions int64
+	// DatagramFrames counts video frames sent as datagrams; the TCP
+	// frame count is Frames minus this.
+	DatagramFrames int64
+	// DatagramHellos / DatagramUnknown count hello datagrams registered
+	// and datagrams dropped for a bad header, kind, token, or epoch.
+	DatagramHellos  int64
+	DatagramUnknown int64
 	// AppliedDeltas / StaleDeltas are replica counters.
 	AppliedDeltas int
 	StaleDeltas   int
@@ -305,7 +350,7 @@ func (f *FogNode) Stats() FogStats {
 	for _, q := range f.actionQ {
 		buffered += len(q)
 	}
-	return FogStats{
+	st := FogStats{
 		ReplicaTick:   f.replica.Tick(),
 		Epoch:         f.epoch,
 		BufferedNow:   buffered,
@@ -317,6 +362,13 @@ func (f *FogNode) Stats() FogStats {
 		StaleDeltas:   f.replica.StaleDeltas(),
 		Resilience:    f.resil,
 	}
+	if f.dgram != nil {
+		st.DatagramSessions = f.dgram.sessOpen.Load()
+		st.DatagramFrames = f.dgram.frames.Load()
+		st.DatagramHellos = f.dgram.hellos.Load()
+		st.DatagramUnknown = f.dgram.unknown.Load()
+	}
+	return st
 }
 
 // updateLoop applies the cloud's update stream to the replica, answers
@@ -489,7 +541,7 @@ func (f *FogNode) reconnect() bool {
 // runs under deadlines.
 func (f *FogNode) resumeCloud(addr string) (net.Conn, protocol.ResumeReply, error) {
 	var zero protocol.ResumeReply
-	conn, err := f.cfg.Dial("tcp", addr, f.cfg.DialTimeout)
+	conn, err := f.tp.Dial(addr)
 	if err != nil {
 		return nil, zero, err
 	}
@@ -503,7 +555,7 @@ func (f *FogNode) resumeCloud(addr string) (net.Conn, protocol.ResumeReply, erro
 		StreamAddr: f.listener.Addr().String(),
 	}
 	f.mu.Unlock()
-	conn.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	conn.SetDeadline(time.Now().Add(f.tc.HandshakeTimeout))
 	if werr := protocol.WriteMessage(conn, protocol.MsgResume, req.Marshal()); werr != nil {
 		conn.Close()
 		return nil, zero, fmt.Errorf("fog resume: %w", werr)
@@ -622,7 +674,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 	var level game.QualityLevel
 	attached := false
 	for !attached {
-		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		conn.SetReadDeadline(time.Now().Add(f.tc.HandshakeTimeout))
 		typ, payload, err := protocol.ReadMessage(conn)
 		if err != nil {
 			return
@@ -678,7 +730,7 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 		f.mu.Unlock()
 	}()
 	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f.cfg.WriteTimeout,
-		f, f, f, f.stop, &f.wg)
+		f, f, f, f, f.stop, &f.wg)
 }
 
 // currentSnapshot implements snapshotSource over the replica.

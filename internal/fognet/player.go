@@ -12,6 +12,7 @@ import (
 	"cloudfog/internal/render"
 	"cloudfog/internal/rng"
 	"cloudfog/internal/selection"
+	"cloudfog/internal/transport"
 	"cloudfog/internal/videocodec"
 	"cloudfog/internal/virtualworld"
 )
@@ -63,6 +64,16 @@ type PlayerConfig struct {
 	// Dial, when set, replaces net.DialTimeout — the faultnet injection
 	// point for chaos tests.
 	Dial DialFunc
+	// Datagram requests the unreliable UDP video path after every attach
+	// to a supernode: frames arrive as datagrams with stale-frame drop
+	// while the TCP session keeps carrying control (rate changes,
+	// rerouted actions, bye). TCP remains the fallback — a refusal or a
+	// failed hello handshake leaves the session streaming exactly as
+	// before. The cloud's own stream is never upgraded.
+	Datagram bool
+	// WrapDatagram, when set, wraps the player's UDP socket — the
+	// faultnet injection point for lossy-path chaos tests.
+	WrapDatagram transport.WrapDatagramFunc
 	// Policy ranks the failover ladder locally (§3.2 via
 	// internal/selection), using the cloud's per-candidate scores plus
 	// the player's own measured RTTs. Defaults to
@@ -87,6 +98,10 @@ const maxPendingActions = 256
 // a video stream from a supernode.
 type PlayerClient struct {
 	cfg PlayerConfig
+	// tc/tp are the transport seam: every dial, handshake deadline, and
+	// write bound the client applies flows from this one policy.
+	tc transport.Config
+	tp transport.TCP
 
 	mu         sync.Mutex
 	video      net.Conn
@@ -100,6 +115,21 @@ type PlayerClient struct {
 	fallbacks  int
 	stallMs    int64
 	candUpd    int64
+
+	// The datagram video path. videoDgram is the live UDP socket (nil
+	// while streaming over TCP) so Close can unblock its reader; the dg*
+	// counters account delivered, dropped, and reclassified datagrams,
+	// and lossEWMA smooths the per-window loss fraction into the QoE
+	// rating the action loop reports.
+	videoDgram  transport.DatagramConn // guarded by mu
+	dgSessions  int64                  // guarded by mu
+	dgFrames    int64                  // guarded by mu
+	dgStale     int64                  // guarded by mu
+	dgDups      int64                  // guarded by mu
+	dgLost      int64                  // guarded by mu
+	dgReordered int64                  // guarded by mu
+	dgFallbacks int64                  // guarded by mu
+	lossEWMA    float64                // guarded by mu
 
 	// The failover view of the control plane: the authority epoch, the
 	// control address currently spoken to, and the advertised standby.
@@ -163,17 +193,14 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if cfg.Game.ID == 0 {
 		cfg.Game = game.Catalog()[2]
 	}
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = DefaultDialTimeout
-	}
+	tc := transport.Config{
+		DialTimeout:  cfg.DialTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	}.WithDefaults()
+	cfg.DialTimeout = tc.DialTimeout
+	cfg.WriteTimeout = tc.WriteTimeout
 	if cfg.VideoReadTimeout <= 0 {
 		cfg.VideoReadTimeout = DefaultVideoReadTimeout
-	}
-	if cfg.WriteTimeout <= 0 {
-		cfg.WriteTimeout = DefaultWriteTimeout
-	}
-	if cfg.Dial == nil {
-		cfg.Dial = net.DialTimeout
 	}
 	if cfg.Policy == 0 {
 		cfg.Policy = selection.PolicyReputation
@@ -181,13 +208,16 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 	if cfg.QoEInterval == 0 {
 		cfg.QoEInterval = DefaultQoEInterval
 	}
-	cloud, err := cfg.Dial("tcp", cfg.CloudAddr, cfg.DialTimeout)
+	tp := transport.TCP{Config: tc, DialFunc: cfg.Dial}
+	cloud, err := tp.Dial(cfg.CloudAddr)
 	if err != nil {
 		return nil, fmt.Errorf("player dial cloud: %w", err)
 	}
 	r := rng.New(cfg.Seed + uint64(cfg.PlayerID))
 	p := &PlayerClient{
 		cfg:    cfg,
+		tc:     tc,
+		tp:     tp,
 		cloud:  cloud,
 		level:  cfg.Game.DefaultQuality,
 		rttMs:  make(map[string]float64),
@@ -201,7 +231,7 @@ func NewPlayerClient(cfg PlayerConfig) (*PlayerClient, error) {
 		SpawnX:   r.Uniform(50, 400),
 		SpawnY:   r.Uniform(50, 400),
 	}
-	cloud.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	cloud.SetDeadline(time.Now().Add(tc.HandshakeTimeout))
 	if err := protocol.WriteMessage(cloud, protocol.MsgPlayerJoin, join.Marshal()); err != nil {
 		cloud.Close()
 		return nil, fmt.Errorf("player join: %w", err)
@@ -307,14 +337,15 @@ func (p *PlayerClient) noteRTT(addr string, ms float64) {
 
 // attachToAny probes the candidate supernodes in order and attaches to the
 // first that accepts. The whole per-candidate handshake runs under a
-// deadline so a hung supernode costs at most DialTimeout.
+// deadline so a hung supernode costs at most the dial timeout plus the
+// handshake timeout.
 func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 	for _, addr := range addrs {
-		conn, err := p.cfg.Dial("tcp", addr, p.cfg.DialTimeout)
+		conn, err := p.tp.Dial(addr)
 		if err != nil {
 			continue
 		}
-		conn.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
+		conn.SetDeadline(time.Now().Add(p.tc.HandshakeTimeout))
 		// Probe for capacity first; the probe round-trip doubles as the
 		// player's RTT measurement for ladder ranking.
 		probeSent := time.Now()
@@ -351,9 +382,23 @@ func (p *PlayerClient) attachToAny(addrs []string) (net.Conn, error) {
 			conn.Close()
 			continue
 		}
+		p.mu.Lock()
+		isCloud := addr == p.cloudAddr
+		p.mu.Unlock()
+		if p.cfg.Datagram && !isCloud {
+			// Ask for the UDP video path; the reply arrives on the
+			// stream and the video loop completes (or abandons) the
+			// upgrade. Frames keep flowing over TCP until the hello
+			// lands, so a refusal costs nothing.
+			req := protocol.DatagramRequest{PlayerID: p.cfg.PlayerID}
+			if protocol.WriteMessage(conn, protocol.MsgDatagramRequest, req.Marshal()) != nil {
+				conn.Close()
+				continue
+			}
+		}
 		conn.SetDeadline(time.Time{})
 		p.mu.Lock()
-		if addr == p.cloudAddr {
+		if isCloud {
 			p.fallbacks++
 		}
 		p.servingAddr = addr
@@ -375,7 +420,11 @@ func (p *PlayerClient) Close() error {
 	// Best-effort goodbyes; the connections close regardless.
 	p.mu.Lock()
 	video := p.video
+	dgram := p.videoDgram
 	p.mu.Unlock()
+	if dgram != nil {
+		dgram.Close() // unblock the datagram receive loop
+	}
 	p.cloudMu.Lock()
 	cloud := p.cloud
 	cloud.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
@@ -435,6 +484,27 @@ type PlayerStats struct {
 	ReroutedActions  int64
 	DroppedActions   int64
 	DiscardedActions int64
+	// DatagramSessions counts completed UDP upgrades (hello acknowledged
+	// by a first frame); DatagramFrames is the subset of Frames that
+	// arrived as datagrams.
+	DatagramSessions int64
+	DatagramFrames   int64
+	// DatagramStale / DatagramDuplicates / DatagramLost /
+	// DatagramReordered account the unreliable path's discipline: late
+	// arrivals dropped at the receiver (never delivered out of order),
+	// duplicates dropped, gaps never filled, and gaps that were filled
+	// late (reclassified from lost, still dropped).
+	DatagramStale      int64
+	DatagramDuplicates int64
+	DatagramLost       int64
+	DatagramReordered  int64
+	// DatagramFallbacks counts upgrade attempts that ended back on TCP:
+	// refusals from the serving node and hello handshakes that never
+	// completed.
+	DatagramFallbacks int64
+	// LossEWMA is the smoothed datagram loss fraction feeding the QoE
+	// rating (zero while streaming over TCP).
+	LossEWMA float64
 }
 
 // Stats snapshots the counters.
@@ -459,6 +529,14 @@ func (p *PlayerClient) Stats() PlayerStats {
 		ReroutedActions:     p.reroutedActs,
 		DroppedActions:      p.droppedActs,
 		DiscardedActions:    p.discardedAct,
+		DatagramSessions:    p.dgSessions,
+		DatagramFrames:      p.dgFrames,
+		DatagramStale:       p.dgStale,
+		DatagramDuplicates:  p.dgDups,
+		DatagramLost:        p.dgLost,
+		DatagramReordered:   p.dgReordered,
+		DatagramFallbacks:   p.dgFallbacks,
+		LossEWMA:            p.lossEWMA,
 	}
 }
 
@@ -508,9 +586,15 @@ func (p *PlayerClient) actionLoop(r *rng.Rand) {
 			p.mu.Lock()
 			addr := p.servingAddr
 			isCloud := addr == p.cloudAddr
+			// Datagram loss degrades the reported experience: a supernode
+			// behind a lossy path earns less reputation than a clean one.
+			rating := 1 - p.lossEWMA
 			p.mu.Unlock()
+			if rating < 0 {
+				rating = 0
+			}
 			if addr != "" && !isCloud {
-				p.reportQoE(addr, 1, false, false)
+				p.reportQoE(addr, rating, false, false)
 			}
 		case <-ticker.C:
 			if r.Bool(0.1) {
@@ -672,11 +756,11 @@ func (p *PlayerClient) resumeCtrl() (net.Conn, bool) {
 // dialResume performs one resume handshake under deadlines.
 func (p *PlayerClient) dialResume(addr string, req protocol.Resume) (net.Conn, protocol.ResumeReply, error) {
 	var zero protocol.ResumeReply
-	conn, err := p.cfg.Dial("tcp", addr, p.cfg.DialTimeout)
+	conn, err := p.tp.Dial(addr)
 	if err != nil {
 		return nil, zero, err
 	}
-	conn.SetDeadline(time.Now().Add(p.cfg.DialTimeout))
+	conn.SetDeadline(time.Now().Add(p.tc.HandshakeTimeout))
 	if werr := protocol.WriteMessage(conn, protocol.MsgResume, req.Marshal()); werr != nil {
 		conn.Close()
 		return nil, zero, werr
@@ -751,11 +835,111 @@ func (p *PlayerClient) rerouteAction(frame []byte, a virtualworld.Action) {
 	p.mu.Unlock()
 }
 
+// videoRecvState is the per-stream decode and adaptation state shared by
+// the TCP receive loop and the datagram receive loop: the decoder (and
+// its reference frame), the reused EncodedFrame and output frame, the
+// rate-change scratch buffer, and the adaptation window accumulators.
+// One stream, one state — the datagram path continues the TCP path's
+// window rather than starting its own.
+type videoRecvState struct {
+	dec         videocodec.Decoder
+	ef          videocodec.EncodedFrame
+	frame       render.Frame
+	rcBuf       []byte
+	start       time.Time
+	windowBits  int64
+	windowStart time.Time
+}
+
+// decodeFrame decodes one received frame payload (the wire form of
+// MsgVideoFrame, which is also the datagram payload) into the shared
+// state and accounts it. viaDgram marks frames that arrived on the
+// unreliable path.
+func (p *PlayerClient) decodeFrame(st *videoRecvState, payload []byte, viaDgram bool) {
+	if uerr := videocodec.UnmarshalFrameInto(payload, &st.ef); uerr != nil {
+		p.mu.Lock()
+		p.decodeErrs++
+		p.mu.Unlock()
+		return
+	}
+	derr := st.dec.DecodeInto(&st.ef, &st.frame)
+	p.mu.Lock()
+	if derr != nil {
+		p.decodeErrs++
+	} else {
+		p.frames++
+		p.videoBits += int64(st.ef.SizeBits())
+		if viaDgram {
+			p.dgFrames++
+		}
+		if st.frame.Tick > p.lastTick {
+			p.lastTick = st.frame.Tick
+		}
+	}
+	p.mu.Unlock()
+	st.windowBits += int64(st.ef.SizeBits())
+}
+
+// maybeAdapt runs the receiver-driven adaptation on ~250 ms windows: the
+// observed delivery rate feeds the buffer model, and level switches go
+// back to the supernode as RateChange on the session's TCP connection
+// (reliable even when frames ride UDP). lossFn, when non-nil, reports
+// the window's datagram loss fraction — it both biases the controller
+// (§3.3 under loss: no up-switches, down-pressure past the threshold)
+// and feeds the smoothed loss the QoE reports carry. On the TCP path
+// lossFn is nil: the transport hides loss as latency, so the controller
+// sees none and the EWMA decays.
+func (p *PlayerClient) maybeAdapt(st *videoRecvState, conn net.Conn, lossFn func() float64) {
+	if p.ctrl == nil {
+		return
+	}
+	win := time.Since(st.windowStart)
+	if win < 250*time.Millisecond {
+		return
+	}
+	loss := 0.0
+	if lossFn != nil {
+		loss = lossFn()
+	}
+	p.ctrl.NoteLoss(loss)
+	p.mu.Lock()
+	p.lossEWMA = 0.5*loss + 0.5*p.lossEWMA
+	p.mu.Unlock()
+	kbps := float64(st.windowBits) / win.Seconds() / 1000
+	now := time.Since(st.start).Seconds()
+	decision := p.ctrl.Observe(now, kbps)
+	st.windowBits, st.windowStart = 0, time.Now()
+	if decision == adaptation.Hold {
+		return
+	}
+	rc := protocol.RateChange{QualityLevel: uint8(p.ctrl.Level())}
+	var rerr error
+	st.rcBuf, rerr = protocol.AppendMessage(st.rcBuf[:0], protocol.MsgRateChange, &rc)
+	if rerr != nil {
+		return
+	}
+	p.videoWMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	_, werr := conn.Write(st.rcBuf)
+	conn.SetWriteDeadline(time.Time{})
+	p.videoWMu.Unlock()
+	if werr != nil {
+		return // the next read will fail over
+	}
+	p.mu.Lock()
+	p.level = p.ctrl.Level()
+	p.switches++
+	p.mu.Unlock()
+}
+
 // videoLoop receives and decodes the video stream, and drives the
 // receiver-driven adaptation: the observed delivery rate feeds the buffer
 // model, and level switches go back to the supernode as RateChange. Every
 // read carries the stall-detector deadline; a silent or broken stream
-// triggers the failover ladder.
+// triggers the failover ladder. A MsgDatagramReply hands the stream to
+// the UDP receive loop; it hands back when the upgrade fizzles (keep
+// reading the same TCP stream) or when the datagram path stalls
+// (migrate, like any other failure).
 //
 // The 30 fps receive path is the thin client's hot loop, so it reuses
 // everything: the frame reader's connection buffer, the EncodedFrame
@@ -764,13 +948,8 @@ func (p *PlayerClient) rerouteAction(frame []byte, a virtualworld.Action) {
 // alias decoder memory. Steady state allocates nothing per frame.
 func (p *PlayerClient) videoLoop() {
 	defer p.wg.Done()
-	var dec videocodec.Decoder
-	var ef videocodec.EncodedFrame
-	var frame render.Frame
-	var rcBuf []byte
-	start := time.Now()
-	var windowBits int64
-	windowStart := start
+	st := videoRecvState{start: time.Now()}
+	st.windowStart = st.start
 	p.mu.Lock()
 	conn := p.video
 	p.mu.Unlock()
@@ -783,7 +962,7 @@ func (p *PlayerClient) videoLoop() {
 			// migrate down the ladder (§3.2.2). No game state
 			// transfers — the cloud holds it all — so the stream
 			// resumes with a fresh decoder.
-			next, ok := p.migrate(&dec)
+			next, ok := p.migrate(&st.dec)
 			if !ok {
 				return
 			}
@@ -792,56 +971,34 @@ func (p *PlayerClient) videoLoop() {
 			fr = protocol.NewFrameReader(conn)
 			continue
 		}
-		if typ != protocol.MsgVideoFrame {
-			continue
-		}
-		if uerr := videocodec.UnmarshalFrameInto(payload, &ef); uerr != nil {
-			p.mu.Lock()
-			p.decodeErrs++
-			p.mu.Unlock()
-			continue
-		}
-		derr := dec.DecodeInto(&ef, &frame)
-		p.mu.Lock()
-		if derr != nil {
-			p.decodeErrs++
-		} else {
-			p.frames++
-			p.videoBits += int64(ef.SizeBits())
-			if frame.Tick > p.lastTick {
-				p.lastTick = frame.Tick
+		switch typ {
+		case protocol.MsgVideoFrame:
+			p.decodeFrame(&st, payload, false)
+			p.maybeAdapt(&st, conn, nil)
+		case protocol.MsgDatagramReply:
+			rep, derr := protocol.UnmarshalDatagramReply(payload)
+			if derr != nil || !rep.OK {
+				p.mu.Lock()
+				p.dgFallbacks++
+				p.mu.Unlock()
+				continue // refused: the TCP stream simply continues
 			}
-		}
-		p.mu.Unlock()
-		windowBits += int64(ef.SizeBits())
-
-		// Receiver-driven adaptation on ~250 ms windows.
-		if p.ctrl != nil {
-			if win := time.Since(windowStart); win >= 250*time.Millisecond {
-				kbps := float64(windowBits) / win.Seconds() / 1000
-				now := time.Since(start).Seconds()
-				decision := p.ctrl.Observe(now, kbps)
-				windowBits, windowStart = 0, time.Now()
-				if decision != adaptation.Hold {
-					rc := protocol.RateChange{QualityLevel: uint8(p.ctrl.Level())}
-					var rerr error
-					rcBuf, rerr = protocol.AppendMessage(rcBuf[:0], protocol.MsgRateChange, &rc)
-					if rerr != nil {
-						continue
-					}
-					p.videoWMu.Lock()
-					conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-					_, werr := conn.Write(rcBuf)
-					conn.SetWriteDeadline(time.Time{})
-					p.videoWMu.Unlock()
-					if werr != nil {
-						continue // the next read will fail over
-					}
-					p.mu.Lock()
-					p.level = p.ctrl.Level()
-					p.switches++
-					p.mu.Unlock()
+			switch p.runDatagramVideo(conn, rep, &st) {
+			case dgClosed:
+				return
+			case dgStall:
+				next, ok := p.migrate(&st.dec)
+				if !ok {
+					return
 				}
+				conn = next
+				fr = protocol.NewFrameReader(conn)
+			case dgNoUpgrade:
+				// The hello never registered, so the fog still streams
+				// over this TCP connection; keep reading it.
+				p.mu.Lock()
+				p.dgFallbacks++
+				p.mu.Unlock()
 			}
 		}
 	}

@@ -1,0 +1,168 @@
+package fognet
+
+import (
+	"net"
+	"net/netip"
+	"time"
+
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/transport"
+)
+
+// dgHelloAttempts bounds how many hellos the player sends before
+// abandoning the upgrade and staying on TCP. Hellos are datagrams too —
+// any one of them can be lost — so the handshake is repeat-until-frame.
+const dgHelloAttempts = 8
+
+// dgResult is how a datagram video session ended.
+type dgResult int
+
+const (
+	// dgClosed: the client is shutting down.
+	dgClosed dgResult = iota
+	// dgStall: the datagram stream went silent past VideoReadTimeout;
+	// treat it like any other stream failure and migrate.
+	dgStall
+	// dgNoUpgrade: the hello handshake never completed, so the fog never
+	// switched away from TCP; resume reading the existing stream.
+	dgNoUpgrade
+)
+
+// runDatagramVideo is the player's unreliable video path: it opens a UDP
+// socket, helloes the fog's datagram endpoint with the offered token
+// until the first frame arrives, then receives frames until the client
+// closes or the stream stalls. conn is the session's TCP connection,
+// which keeps carrying control (rate changes out, nothing expected in)
+// for the duration.
+//
+// Ordering discipline: every datagram is classified by the RecvTracker —
+// only Fresh frames are decoded, so a frame older than one already shown
+// is never delivered, no matter how it was lost, duplicated, or
+// reordered in flight. The tracker's window accounting feeds the
+// adaptation controller the loss fraction TCP would have hidden.
+func (p *PlayerClient) runDatagramVideo(conn net.Conn, rep protocol.DatagramReply, st *videoRecvState) dgResult {
+	raddr, aerr := netip.ParseAddrPort(rep.Addr)
+	if aerr != nil {
+		return dgNoUpgrade
+	}
+	pc, lerr := transport.ListenDatagram(":0")
+	if lerr != nil {
+		return dgNoUpgrade
+	}
+	var dc transport.DatagramConn = pc
+	if p.cfg.WrapDatagram != nil {
+		dc = p.cfg.WrapDatagram(pc)
+	}
+	p.mu.Lock()
+	p.videoDgram = dc // published so Close can unblock the read below
+	lostBase, reorderBase := p.dgLost, p.dgReordered
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.videoDgram = nil
+		p.mu.Unlock()
+		dc.Close()
+	}()
+
+	var tr transport.RecvTracker
+	// syncTracker republishes the tracker's gap accounting (lost and
+	// late-filled) under the client's lock; stale and duplicate drops are
+	// counted as they happen.
+	syncTracker := func() {
+		ts := tr.Stats()
+		p.mu.Lock()
+		p.dgLost = lostBase + int64(ts.Lost)
+		p.dgReordered = reorderBase + int64(ts.Reordered)
+		p.mu.Unlock()
+	}
+	// lossFn gives maybeAdapt the window's datagram loss fraction.
+	lossFn := func() float64 {
+		delivered, lost, _ := tr.TakeWindow()
+		syncTracker()
+		if delivered+lost == 0 {
+			return 0
+		}
+		return float64(lost) / float64(delivered+lost)
+	}
+
+	buf := make([]byte, transport.MaxDatagram)
+	var hdr transport.Header
+	established := false
+	// handleDatagram classifies and (when fresh) decodes one datagram.
+	handleDatagram := func(n int) {
+		payload, perr := transport.ParseHeader(buf[:n], &hdr)
+		if perr != nil || hdr.Kind != transport.DgramFrame || hdr.Token != rep.Token {
+			return
+		}
+		switch tr.Track(hdr.Epoch, hdr.Seq) {
+		case transport.Fresh:
+			established = true
+			p.decodeFrame(st, payload, true)
+			p.maybeAdapt(st, conn, lossFn)
+		case transport.Duplicate:
+			p.mu.Lock()
+			p.dgDups++
+			p.mu.Unlock()
+		default: // Stale: arrived behind a delivered frame — drop it.
+			p.mu.Lock()
+			p.dgStale++
+			p.mu.Unlock()
+		}
+	}
+
+	hello := transport.Header{Kind: transport.DgramHello, Token: rep.Token, Epoch: rep.Epoch}
+	helloBuf := hello.AppendTo(make([]byte, 0, transport.HeaderLen))
+	attemptInterval := p.cfg.VideoReadTimeout / 4
+	for attempt := 0; attempt < dgHelloAttempts && !established; attempt++ {
+		select {
+		case <-p.stop:
+			return dgClosed
+		default:
+		}
+		dc.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if _, werr := dc.WriteToUDPAddrPort(helloBuf, raddr); werr != nil {
+			return dgNoUpgrade
+		}
+		deadline := time.Now().Add(attemptInterval)
+		for !established && time.Now().Before(deadline) {
+			dc.SetReadDeadline(deadline)
+			n, _, rerr := dc.ReadFromUDPAddrPort(buf)
+			if rerr != nil {
+				break // timeout or closed: resend the hello
+			}
+			handleDatagram(n)
+		}
+	}
+	if !established {
+		select {
+		case <-p.stop:
+			return dgClosed
+		default:
+		}
+		return dgNoUpgrade
+	}
+	p.mu.Lock()
+	p.dgSessions++
+	p.mu.Unlock()
+
+	for {
+		select {
+		case <-p.stop:
+			syncTracker()
+			return dgClosed
+		default:
+		}
+		dc.SetReadDeadline(time.Now().Add(p.cfg.VideoReadTimeout))
+		n, _, rerr := dc.ReadFromUDPAddrPort(buf)
+		if rerr != nil {
+			syncTracker()
+			select {
+			case <-p.stop:
+				return dgClosed
+			default:
+			}
+			return dgStall
+		}
+		handleDatagram(n)
+	}
+}

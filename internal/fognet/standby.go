@@ -9,6 +9,7 @@ import (
 	"cloudfog/internal/checkpoint"
 	"cloudfog/internal/protocol"
 	"cloudfog/internal/rng"
+	"cloudfog/internal/transport"
 )
 
 // DefaultPromoteAfter is how long the checkpoint/log stream may stay
@@ -75,7 +76,9 @@ type StandbyStats struct {
 // epoch bumped, on the listener it advertised all along — so supernodes
 // and players resume without a full rejoin (DESIGN.md §12).
 type Standby struct {
-	cfg      StandbyConfig
+	cfg StandbyConfig
+	// tp is the transport seam the primary dial goes through.
+	tp       transport.TCP
 	listener net.Listener
 
 	mu sync.Mutex
@@ -117,21 +120,20 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 	if cfg.ReconnectBackoffMax <= 0 {
 		cfg.ReconnectBackoffMax = DefaultReconnectBackoffMax
 	}
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = DefaultDialTimeout
-	}
-	if cfg.WriteTimeout <= 0 {
-		cfg.WriteTimeout = DefaultWriteTimeout
-	}
-	if cfg.Dial == nil {
-		cfg.Dial = net.DialTimeout
-	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	tc := transport.Config{
+		DialTimeout:  cfg.DialTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	}.WithDefaults()
+	cfg.DialTimeout = tc.DialTimeout
+	cfg.WriteTimeout = tc.WriteTimeout
+	tp := transport.TCP{Config: tc, DialFunc: cfg.Dial}
+	ln, err := tp.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("standby listen: %w", err)
 	}
 	sb := &Standby{
 		cfg:      cfg,
+		tp:       tp,
 		listener: ln,
 		jitter:   rng.New(cfg.Seed).SplitNamed("standby-redial"),
 		stop:     make(chan struct{}),
@@ -231,7 +233,7 @@ func (sb *Standby) run() {
 // (which authorizes immediate promotion — the final checkpoint is
 // already in hand).
 func (sb *Standby) follow() (bye bool) {
-	conn, err := sb.cfg.Dial("tcp", sb.cfg.PrimaryAddr, sb.cfg.DialTimeout)
+	conn, err := sb.tp.Dial(sb.cfg.PrimaryAddr)
 	if err != nil {
 		return false
 	}

@@ -36,18 +36,23 @@ type actionSink interface {
 
 // runVideoSession streams rendered, encoded frames for one attached player
 // until the connection breaks, a Bye arrives, or stop closes. It handles
-// the receiver-driven RateChange messages of §3.3. Every frame write
-// carries writeTimeout as a deadline, so a player that stops reading
-// cannot pin the session goroutine. The caller owns conn and the attach
-// handshake; wg tracks the internal reader goroutine.
+// the receiver-driven RateChange messages of §3.3 and the optional
+// datagram upgrade: a MsgDatagramRequest is answered (via offer, or
+// refused when offer is nil) on the session connection, and once the
+// player's hello registers, frames ride UDP while this connection keeps
+// carrying control. Every frame write carries writeTimeout as a deadline,
+// so a player that stops reading cannot pin the session goroutine. The
+// caller owns conn and the attach handshake; wg tracks the internal
+// reader goroutine.
 //
 // The 30 fps loop is the fog tier's hot path, so it is allocation-free in
 // steady state: the renderer rasterizes into one reused framebuffer, the
 // encoder compresses into reused scratch (EncodeInto), and the encoded
-// frame plus its 5-byte protocol header are appended into one pooled
-// buffer flushed with a single Write. The pooled buffer is returned only
-// after the session ends — per-frame it is simply truncated and refilled,
-// never handed to another goroutine.
+// frame plus its header — the 5-byte stream header or the 33-byte
+// datagram header — are appended into one pooled buffer flushed with a
+// single Write. The pooled buffer is returned only after the session
+// ends — per-frame it is simply truncated and refilled, never handed to
+// another goroutine.
 func runVideoSession(
 	conn net.Conn,
 	playerID int32,
@@ -57,14 +62,18 @@ func runVideoSession(
 	source snapshotSource,
 	counters streamCounters,
 	actions actionSink,
+	offer dgramOffer,
 	stop <-chan struct{},
 	wg *sync.WaitGroup,
 ) {
 	if level < 1 || level > game.NumQualityLevels {
 		level = 3
 	}
-	// Rate-change messages arrive asynchronously with the frame clock.
+	// Rate-change and datagram-request messages arrive asynchronously
+	// with the frame clock; the frame loop owns all writes on conn, so
+	// the reader only signals.
 	rateCh := make(chan game.QualityLevel, 1)
+	dgramCh := make(chan struct{}, 1)
 	readDone := make(chan struct{})
 	wg.Add(1)
 	go func() {
@@ -93,6 +102,15 @@ func runVideoSession(
 					continue
 				}
 				actions.submitAction(am.Action)
+			case protocol.MsgDatagramRequest:
+				req, derr := protocol.UnmarshalDatagramRequest(payload)
+				if derr != nil || req.PlayerID != playerID {
+					continue
+				}
+				select {
+				case dgramCh <- struct{}{}:
+				default:
+				}
 			case protocol.MsgBye:
 				return
 			}
@@ -105,6 +123,16 @@ func runVideoSession(
 	var ef videocodec.EncodedFrame
 	out := protocol.GetBuffer()
 	defer protocol.PutBuffer(out)
+	// sess is the live datagram upgrade, nil until a request is granted;
+	// dgramLive flips when the player's hello lands and frames actually
+	// switch to UDP.
+	var sess *dgramSession
+	dgramLive := false
+	defer func() {
+		if sess != nil {
+			offer.endDatagram(sess)
+		}
+	}()
 	ticker := time.NewTicker(frameInterval)
 	defer ticker.Stop()
 	for {
@@ -119,10 +147,46 @@ func runVideoSession(
 				renderer = render.NewRenderer(render.ResolutionForLevel(int(level)))
 				encoder = videocodec.NewEncoder(game.MustQuality(level).BitrateKbps)
 			}
+		case <-dgramCh:
+			reply := protocol.DatagramReply{Reason: "datagram video unavailable"}
+			if offer != nil && sess == nil {
+				reply, sess = offer.offerDatagram()
+			}
+			var err error
+			out.B, err = protocol.AppendFrame(out.B[:0], protocol.MsgDatagramReply, reply.Marshal())
+			if err != nil {
+				return
+			}
+			if writeTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			}
+			if _, err := conn.Write(out.B); err != nil {
+				return
+			}
 		case <-ticker.C:
 			snap := source.currentSnapshot()
+			if sess != nil && !dgramLive {
+				if _, ok := sess.remote(); ok {
+					// The hello landed: this frame is the first to ride
+					// UDP. Restart the GOP so the receiver — which read
+					// none of the TCP frames in flight during the
+					// handshake — decodes from the very first datagram.
+					dgramLive = true
+					encoder.ForceKeyframe()
+				}
+			}
 			renderer.RenderInto(snap, render.ViewportFor(snap, int(playerID)), frame)
 			encoder.EncodeInto(frame, &ef)
+			if sess != nil {
+				var sent bool
+				out.B, sent = sess.sendFrame(out.B, &ef, snap.Tick)
+				if sent {
+					counters.addFrame(ef.SizeBits())
+					continue
+				}
+				// No hello yet, oversized frame, or a socket error:
+				// this frame rides the reliable stream instead.
+			}
 			var err error
 			out.B, err = protocol.AppendMessage(out.B[:0], protocol.MsgVideoFrame, &ef)
 			if err != nil {

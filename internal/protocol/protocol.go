@@ -94,6 +94,14 @@ const (
 	// MsgResumeReply answers a resume with the authoritative epoch/tick
 	// and whatever the resuming peer needs to reconverge.
 	MsgResumeReply
+	// MsgDatagramRequest asks the serving node, on an attached video
+	// session, to move the video stream to the unreliable datagram
+	// transport (-transport udp). Control traffic stays on this stream.
+	MsgDatagramRequest
+	// MsgDatagramReply answers with the node's datagram endpoint and the
+	// session token the player's hello datagram must echo. OK=false means
+	// the node does not offer datagram video and TCP streaming continues.
+	MsgDatagramReply
 )
 
 // String names the message type.
@@ -143,6 +151,10 @@ func (t MsgType) String() string {
 		return "resume"
 	case MsgResumeReply:
 		return "resume-reply"
+	case MsgDatagramRequest:
+		return "datagram-request"
+	case MsgDatagramReply:
+		return "datagram-reply"
 	default:
 		return "unknown"
 	}
@@ -1054,6 +1066,70 @@ func UnmarshalResumeReply(buf []byte) (ResumeReply, error) {
 	}
 	m.CloudStreamAddr = r.str()
 	m.StandbyAddr = r.str()
+	m.Reason = r.str()
+	return m, r.finish()
+}
+
+// DatagramRequest asks the serving node to move the attached video
+// session's frames onto the unreliable datagram transport.
+type DatagramRequest struct {
+	// PlayerID must match the attached player (the session's owner).
+	PlayerID int32
+}
+
+// Marshal encodes the message.
+func (m DatagramRequest) Marshal() []byte {
+	w := &writer{}
+	w.i32(m.PlayerID)
+	return w.buf
+}
+
+// UnmarshalDatagramRequest decodes the message.
+func UnmarshalDatagramRequest(buf []byte) (DatagramRequest, error) {
+	r := &reader{buf: buf}
+	m := DatagramRequest{PlayerID: r.i32()}
+	return m, r.finish()
+}
+
+// DatagramReply answers a DatagramRequest. When OK, Addr is the node's
+// datagram endpoint, Token identifies the session (the player's hello
+// datagram and every frame header echo it), and Epoch stamps the stream's
+// authority epoch. When !OK the session keeps streaming over TCP.
+type DatagramReply struct {
+	// OK reports whether datagram video is offered.
+	OK bool
+	// Addr is the node's datagram ("udp host:port") endpoint.
+	Addr string
+	// Token is the session token frames and hellos carry.
+	Token uint64
+	// Epoch is the authority epoch the frame headers will be stamped with.
+	Epoch uint64
+	// Reason explains a refusal.
+	Reason string
+}
+
+// Marshal encodes the message.
+func (m DatagramReply) Marshal() []byte {
+	w := &writer{}
+	if m.OK {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.str(m.Addr)
+	w.u64(m.Token)
+	w.u64(m.Epoch)
+	w.str(m.Reason)
+	return w.buf
+}
+
+// UnmarshalDatagramReply decodes the message.
+func UnmarshalDatagramReply(buf []byte) (DatagramReply, error) {
+	r := &reader{buf: buf}
+	m := DatagramReply{OK: r.u8() == 1}
+	m.Addr = r.str()
+	m.Token = r.u64()
+	m.Epoch = r.u64()
 	m.Reason = r.str()
 	return m, r.finish()
 }

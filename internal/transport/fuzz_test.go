@@ -1,0 +1,41 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDatagramHeader is the datagram-path twin of protocol.FuzzReadMessage:
+// any bytes that parse as a header must re-encode to the identical prefix,
+// and any valid header must survive an append/parse round trip bit-for-bit.
+func FuzzDatagramHeader(f *testing.F) {
+	f.Add(Header{Kind: DgramFrame, Token: 1, Epoch: 2, Seq: 3, Tick: 4}.AppendTo(nil))
+	f.Add(Header{Kind: DgramHello, Token: ^uint64(0)}.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		payload, err := ParseHeader(data, &h)
+		if err != nil {
+			// Must only reject short or unknown-kind datagrams.
+			if err != ErrShortDatagram && err != ErrBadKind {
+				t.Fatalf("unexpected parse error: %v", err)
+			}
+			return
+		}
+		// Re-encode: the header must reproduce the input prefix exactly,
+		// and the payload view must alias the remainder.
+		re := h.AppendTo(nil)
+		if !bytes.Equal(re, data[:HeaderLen]) {
+			t.Fatalf("re-encoded header %x differs from input prefix %x", re, data[:HeaderLen])
+		}
+		if !bytes.Equal(payload, data[HeaderLen:]) {
+			t.Fatalf("payload view mismatch")
+		}
+		// Parse of the re-encoding must agree.
+		var h2 Header
+		if _, err := ParseHeader(re, &h2); err != nil || h2 != h {
+			t.Fatalf("reparse: %+v vs %+v err=%v", h2, h, err)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// errPipeTimeout implements net.Error with Timeout() == true, matching
+// what deadline-aware receive loops expect from a real socket.
+type errPipeTimeout struct{}
+
+func (errPipeTimeout) Error() string   { return "transport: i/o timeout" }
+func (errPipeTimeout) Timeout() bool   { return true }
+func (errPipeTimeout) Temporary() bool { return true }
+
+// ErrPipeTimeout is the deadline-exceeded error for pipe operations.
+var ErrPipeTimeout net.Error = errPipeTimeout{}
+
+// ErrPipeClosed is returned by operations on a closed pipe end.
+var ErrPipeClosed = errors.New("transport: datagram pipe closed")
+
+// NewDatagramPipe returns two connected in-memory DatagramConn ends with
+// UDP-like semantics: message-oriented, unordered only through explicit
+// injection (faultnet wraps an end), and lossy when the receive queue is
+// full — a write to a full queue drops the datagram silently instead of
+// blocking, exactly like a kernel socket buffer. queue is the per-end
+// receive capacity in datagrams (<= 0 means 64).
+//
+// The pipe exists for deterministic tests and benchmarks (and is the
+// embryo of an in-process sim transport): no kernel, no ports, no
+// scheduler-dependent batching.
+func NewDatagramPipe(queue int) (a, b DatagramConn) {
+	if queue <= 0 {
+		queue = 64
+	}
+	pa := &pipeEnd{
+		recv:  make(chan []byte, queue),
+		local: netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 1),
+	}
+	pb := &pipeEnd{
+		recv:  make(chan []byte, queue),
+		local: netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 2),
+	}
+	pa.peer, pb.peer = pb, pa
+	return pa, pb
+}
+
+type pipeEnd struct {
+	peer  *pipeEnd
+	recv  chan []byte
+	local netip.AddrPort
+
+	mu     sync.Mutex
+	rdl    time.Time
+	closed chan struct{} // lazily created close signal
+	done   bool
+}
+
+func (p *pipeEnd) closedCh() chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed == nil {
+		p.closed = make(chan struct{})
+	}
+	return p.closed
+}
+
+// WriteToUDPAddrPort copies b into the peer's receive queue; a full
+// queue or closed peer drops the datagram (the unreliable contract).
+// addr is ignored: a pipe has exactly one peer.
+func (p *pipeEnd) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	p.mu.Lock()
+	done := p.done
+	p.mu.Unlock()
+	if done {
+		return 0, ErrPipeClosed
+	}
+	peer := p.peer
+	peer.mu.Lock()
+	if peer.done {
+		peer.mu.Unlock()
+		return len(b), nil // peer gone: the network ate it
+	}
+	msg := append([]byte(nil), b...)
+	select {
+	case peer.recv <- msg:
+	default: // queue full: drop, like a kernel socket buffer
+	}
+	peer.mu.Unlock()
+	return len(b), nil
+}
+
+// ReadFromUDPAddrPort blocks for the next datagram, bounded by the read
+// deadline.
+func (p *pipeEnd) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	p.mu.Lock()
+	rdl := p.rdl
+	done := p.done
+	p.mu.Unlock()
+	if done {
+		// Drain what was queued before the close, then fail.
+		select {
+		case msg := <-p.recv:
+			return copy(b, msg), p.peer.local, nil
+		default:
+			return 0, netip.AddrPort{}, ErrPipeClosed
+		}
+	}
+	var timer <-chan time.Time
+	if !rdl.IsZero() {
+		d := time.Until(rdl)
+		if d <= 0 {
+			return 0, netip.AddrPort{}, ErrPipeTimeout
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case msg := <-p.recv:
+		return copy(b, msg), p.peer.local, nil
+	case <-timer:
+		return 0, netip.AddrPort{}, ErrPipeTimeout
+	case <-p.closedCh():
+		return 0, netip.AddrPort{}, ErrPipeClosed
+	}
+}
+
+// LocalAddr returns the end's synthetic address.
+func (p *pipeEnd) LocalAddr() net.Addr {
+	return net.UDPAddrFromAddrPort(p.local)
+}
+
+// SetReadDeadline bounds blocking reads.
+func (p *pipeEnd) SetReadDeadline(t time.Time) error {
+	p.mu.Lock()
+	p.rdl = t
+	p.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline is a no-op: pipe writes never block.
+func (p *pipeEnd) SetWriteDeadline(t time.Time) error { return nil }
+
+// Close marks the end closed and wakes blocked readers.
+func (p *pipeEnd) Close() error {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return nil
+	}
+	p.done = true
+	if p.closed == nil {
+		p.closed = make(chan struct{})
+	}
+	close(p.closed)
+	p.mu.Unlock()
+	return nil
+}
+
+// Discard is a DatagramConn that accepts every write and delivers
+// nothing — the datagram-path equivalent of io.Discard, for send-path
+// benchmarks and allocation regression tests.
+var Discard DatagramConn = discardConn{}
+
+type discardConn struct{}
+
+func (discardConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	return len(b), nil
+}
+
+func (discardConn) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	return 0, netip.AddrPort{}, ErrPipeClosed
+}
+
+func (discardConn) LocalAddr() net.Addr {
+	return net.UDPAddrFromAddrPort(netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 0))
+}
+
+func (discardConn) SetReadDeadline(t time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(t time.Time) error { return nil }
+func (discardConn) Close() error                       { return nil }

@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, allocation behavior shifts, so allocation-count tests skip.
+const raceEnabled = true

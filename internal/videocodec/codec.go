@@ -85,6 +85,12 @@ func NewEncoder(targetKbps float64) *Encoder {
 // SetTargetKbps retargets the rate controller (a quality-level switch).
 func (e *Encoder) SetTargetKbps(kbps float64) { e.TargetKbps = kbps }
 
+// ForceKeyframe makes the next encoded frame an I-frame, restarting the
+// GOP. Senders call it when a receiver (re)joins mid-stream — a
+// transport switch, for instance — so the new receiver is not stuck
+// undecodable until the GOP rolls over.
+func (e *Encoder) ForceKeyframe() { e.count = 0 }
+
 // quantize buckets a luminance value with step q.
 func quantize(v byte, q int) byte {
 	if q <= 1 {
