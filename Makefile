@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-vet bench bench-json bench-transport-json chaos
+.PHONY: all build vet test race check lint lint-vet bench bench-json bench-transport-json bench-tick-json chaos
 
 all: check
 
@@ -75,6 +75,20 @@ bench-transport-json:
 	$(GO) test -bench='$(BENCH_TRANSPORT)' -benchmem -benchtime=2000x -run='^$$' \
 		./internal/transport ./internal/fognet \
 		| $(GO) run ./cmd/benchjson -o BENCH_transport.json
+
+# Interest-management (AoI) tick fan-out regression file, same scheme as
+# bench-json: the per-cell AoI fan-out and the legacy full-world baseline
+# over the same fixtures, plus the grid RegionOf index, converted to
+# BENCH_tick.json. Beyond ns/op and allocs/op, each fan-out row carries a
+# custom fanoutB/tick metric — the tick's wire egress — which is the
+# number the AoI layer exists to bound: flat in world size, linear in
+# visible entities (DESIGN.md §14).
+BENCH_TICK = BenchmarkAoITickFanout|BenchmarkLegacyTickFanout|BenchmarkRegionOf
+
+bench-tick-json:
+	$(GO) test -bench='$(BENCH_TICK)' -benchmem -benchtime=2000x -run='^$$' \
+		./internal/fognet ./internal/virtualworld \
+		| $(GO) run ./cmd/benchjson -o BENCH_tick.json
 
 chaos:
 	$(GO) run ./examples/chaos

@@ -39,6 +39,9 @@ type Result struct {
 	BytesPerOp float64 `json:"bytes_per_op"`
 	// AllocsPerOp is heap allocations per operation (-benchmem).
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any custom b.ReportMetric pairs the benchmark emitted
+	// (e.g. "fanoutB/tick"), keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the emitted JSON root.
@@ -129,7 +132,7 @@ func parseBenchLine(line, pkg string) (Result, bool) {
 		if verr != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			sawNs = true
@@ -137,6 +140,16 @@ func parseBenchLine(line, pkg string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units ride along verbatim. Guard
+			// against non-unit trailing tokens: a unit always contains
+			// a '/' (per testing's value-unit pair convention).
+			if strings.ContainsRune(unit, '/') {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
 		}
 	}
 	return r, sawNs

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkAppendFrame-8   824061   1457 ns/op   32 B/op   2 allocs/op", "p")
+	if !ok {
+		t.Fatal("standard line rejected")
+	}
+	if r.Name != "AppendFrame" || r.Iterations != 824061 || r.NsPerOp != 1457 ||
+		r.BytesPerOp != 32 || r.AllocsPerOp != 2 || r.Package != "p" {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics != nil {
+		t.Fatalf("standard units leaked into Metrics: %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	line := "BenchmarkAoITickFanout/world=40k/visible=512-8   500   1007154 ns/op   93165 fanoutB/tick   0 B/op   0 allocs/op"
+	r, ok := parseBenchLine(line, "")
+	if !ok {
+		t.Fatal("metric line rejected")
+	}
+	if r.Name != "AoITickFanout/world=40k/visible=512" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if got := r.Metrics["fanoutB/tick"]; got != 93165 {
+		t.Fatalf("fanoutB/tick = %v, want 93165", got)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  \tcloudfog/internal/fognet\t7.283s",
+		"PASS",
+		"Benchmark only-name-no-iters",
+		"BenchmarkX notanumber 12 ns/op",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

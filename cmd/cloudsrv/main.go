@@ -150,8 +150,9 @@ func runStandby(addr, primary string, promoteAfter, statsEvery time.Duration, cf
 
 func printCloudStats(cloud *fognet.CloudServer) {
 	s := cloud.Stats()
-	fmt.Printf("cloudsrv: epoch=%d ticks=%d supernodes=%d players=%d entities=%d update=%0.1f kbit ckpts=%d standby=%v evictions=%d departures=%d qdrops=%d qoe=%d\n",
-		s.Epoch, s.Ticks, s.Supernodes, s.Players, s.Entities, float64(s.UpdateBits)/1000,
+	fmt.Printf("cloudsrv: epoch=%d ticks=%d supernodes=%d aoi=%d interest=%d keycells=%d players=%d entities=%d update=%0.1f kbit ckpts=%d standby=%v evictions=%d departures=%d qdrops=%d qoe=%d\n",
+		s.Epoch, s.Ticks, s.Supernodes, s.AoISupernodes, s.InterestUpdates, s.KeyframeCells,
+		s.Players, s.Entities, float64(s.UpdateBits)/1000,
 		s.Resilience.Checkpoints, s.StandbyAttached,
 		s.Resilience.Evictions, s.Resilience.Departures, s.Resilience.SendQueueDrops,
 		s.Resilience.QoEReports)

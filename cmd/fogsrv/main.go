@@ -35,19 +35,23 @@ func main() {
 		"video transport: tcp | udp (udp opens a datagram socket players can upgrade to; TCP stays the control path and the fallback)")
 	dgramAddr := flag.String("dgram-addr", "",
 		"UDP listen address for -transport udp (default: stream host, ephemeral port)")
+	aoi := flag.Bool("aoi", false,
+		"subscribe to the cloud's interest-managed (AoI) update stream: report the cells attached players can see and receive per-cell batches instead of the full world")
+	aoiMargin := flag.Float64("aoi-margin", fognet.DefaultAoIMargin,
+		"AoI hysteresis margin in world units (cells enter at viewport+margin, leave beyond viewport+2×margin); only meaningful with -aoi")
 	flag.Parse()
 
 	if *transportFlag != "tcp" && *transportFlag != "udp" {
 		log.Fatalf("fogsrv: -transport must be tcp or udp, got %q", *transportFlag)
 	}
 	if err := run(*name, *cloudAddr, *addr, *capacity, *frame, *dialTimeout, *statsEvery, *seed,
-		*transportFlag == "udp", *dgramAddr); err != nil {
+		*transportFlag == "udp", *dgramAddr, *aoi, *aoiMargin); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEvery time.Duration,
-	seed uint64, datagram bool, dgramAddr string) error {
+	seed uint64, datagram bool, dgramAddr string, aoi bool, aoiMargin float64) error {
 	fog, err := fognet.NewFogNode(fognet.FogConfig{
 		Name:          name,
 		CloudAddr:     cloudAddr,
@@ -58,6 +62,8 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 		Seed:          seed,
 		Datagram:      datagram,
 		DatagramAddr:  dgramAddr,
+		AoI:           aoi,
+		AoIMargin:     aoiMargin,
 	})
 	if err != nil {
 		return err
@@ -66,8 +72,12 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 	if datagram {
 		transport = "udp (tcp control + fallback)"
 	}
-	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d, transport %s)\n",
-		name, fog.ID(), fog.StreamAddr(), capacity, transport)
+	stream := "full-world"
+	if aoi {
+		stream = fmt.Sprintf("aoi (margin %g)", aoiMargin)
+	}
+	fmt.Printf("fogsrv %q: supernode %d streaming on %s (capacity %d, transport %s, updates %s)\n",
+		name, fog.ID(), fog.StreamAddr(), capacity, transport, stream)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -87,10 +97,15 @@ func run(name, cloudAddr, addr string, capacity int, frame, dialTimeout, statsEv
 			return nil
 		case <-tickCh:
 			s := fog.Stats()
-			fmt.Printf("fogsrv %q: epoch=%d tick=%d attached=%d frames=%d dgrams=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d resumes=%d buffered=%d\n",
+			line := fmt.Sprintf("fogsrv %q: epoch=%d tick=%d attached=%d frames=%d dgrams=%d video=%0.1f kbit applied=%d stale=%d reconnects=%d resumes=%d buffered=%d",
 				name, s.Epoch, s.ReplicaTick, s.Attached, s.Frames, s.DatagramFrames,
 				float64(s.VideoBits)/1000, s.AppliedDeltas, s.StaleDeltas,
 				s.Resilience.Reconnects, s.Resilience.Resumes, s.BufferedNow)
+			if aoi {
+				line += fmt.Sprintf(" aoi_cells=%d cell_batches=%d keyframes=%d",
+					s.InterestCells, s.CellBatches, s.KeyframesApplied)
+			}
+			fmt.Println(line)
 		}
 	}
 }

@@ -1,0 +1,223 @@
+package fognet
+
+import (
+	"io"
+	"testing"
+
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/render"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/virtualworld"
+)
+
+// aoiBenchFixture is the tick fan-out fixture: one tick's delta stream
+// over a world×world map, fanoutWidth subscribers each watching a
+// viewport-sized footprint around its player. The first `visible` deltas
+// land inside those footprints; the rest are spread uniformly over the
+// whole world (background activity no subscriber cares about).
+type aoiBenchFixture struct {
+	geo     virtualworld.GridGeom
+	deltas  []virtualworld.Delta
+	sets    []*interestSet
+	queues  []chan outMsg
+	plan    aoiPlan
+	pending []outMsg
+}
+
+func newAoIBenchFixture(total, visible int, world float64) *aoiBenchFixture {
+	f := &aoiBenchFixture{geo: virtualworld.Geometry(world, world, virtualworld.DefaultCellSize)}
+	r := rng.New(uint64(total)*31 + uint64(visible)).SplitNamed("aoi-bench")
+	type pt struct{ x, y float64 }
+	players := make([]pt, fanoutWidth)
+	halfW := render.ViewHalfWidth + DefaultAoIMargin
+	halfH := render.ViewHalfHeight + DefaultAoIMargin
+	var cells []uint32
+	for i := range players {
+		players[i] = pt{
+			x: world * float64(i+1) / float64(fanoutWidth+1),
+			y: world / 2,
+		}
+		is := newInterestSet(1, f.geo.NumCells())
+		cells = f.geo.AppendCellsInRect(cells[:0],
+			players[i].x-halfW, players[i].y-halfH, players[i].x+halfW, players[i].y+halfH)
+		for _, c := range cells {
+			is.add(c)
+		}
+		f.sets = append(f.sets, is)
+		f.queues = append(f.queues, make(chan outMsg, 2*DefaultSendQueueLen))
+	}
+	f.deltas = make([]virtualworld.Delta, total)
+	for i := range f.deltas {
+		var x, y float64
+		if i < visible {
+			// Inside the cycling player's viewport: guaranteed subscribed.
+			p := players[i%len(players)]
+			x = p.x + (r.Float64()*2-1)*render.ViewHalfWidth
+			y = p.y + (r.Float64()*2-1)*render.ViewHalfHeight
+		} else {
+			x = r.Float64() * world
+			y = r.Float64() * world
+		}
+		id := virtualworld.EntityID(i + 1)
+		f.deltas[i] = virtualworld.Delta{ID: id, Entity: virtualworld.Entity{
+			ID: id, Kind: virtualworld.KindNPC, Owner: -1, X: x, Y: y, HP: 80, Version: 7,
+		}}
+	}
+	return f
+}
+
+// tickAoI runs one AoI fan-out cycle exactly as tickOnce + snWriter do:
+// bucket the deltas by cell, encode each subscribed dirty cell once into a
+// pooled reference-counted payload, enqueue to its subscribers, then drain
+// every queue through the coalescing writer path. Returns the egress bytes
+// this tick put on the wire.
+func (f *aoiBenchFixture) tickAoI(tb testing.TB) int64 {
+	f.plan.build(f.geo, f.deltas, 0)
+	var bytes int64
+	for i := 0; i < f.plan.numDirty(); i++ {
+		cell := f.plan.cell(i)
+		subs := 0
+		for _, is := range f.sets {
+			if is.has(cell) {
+				subs++
+			}
+		}
+		if subs == 0 {
+			continue
+		}
+		_, cd := f.plan.cellDeltas(i)
+		cb := protocol.CellBatch{Tick: 42, Cell: cell, Deltas: cd}
+		sp := newSharedPayload(subs)
+		sp.buf.B = cb.AppendTo(sp.buf.B[:0])
+		for j, is := range f.sets {
+			if is.has(cell) {
+				f.queues[j] <- outMsg{typ: protocol.MsgCellBatch, payload: sp.buf.B, shared: sp}
+				bytes += int64(len(sp.buf.B) + protocol.HeaderLen)
+			}
+		}
+	}
+	f.drain(tb)
+	return bytes
+}
+
+// tickLegacy is the pre-AoI baseline on the same fixture: the full batch
+// encoded once and fanned to every subscriber, regardless of interest.
+func (f *aoiBenchFixture) tickLegacy(tb testing.TB) int64 {
+	batch := protocol.UpdateBatch{Tick: 42, Deltas: f.deltas}
+	sp := newSharedPayload(len(f.queues))
+	sp.buf.B = batch.AppendTo(sp.buf.B[:0])
+	var bytes int64
+	for _, q := range f.queues {
+		q <- outMsg{typ: protocol.MsgUpdateBatch, payload: sp.buf.B, shared: sp}
+		bytes += int64(len(sp.buf.B) + protocol.HeaderLen)
+	}
+	f.drain(tb)
+	return bytes
+}
+
+func (f *aoiBenchFixture) drain(tb testing.TB) {
+	for _, q := range f.queues {
+		f.pending = f.pending[:0]
+	drain:
+		for {
+			select {
+			case m := <-q:
+				f.pending = append(f.pending, m)
+			default:
+				break drain
+			}
+		}
+		buf := protocol.GetBuffer()
+		for _, m := range f.pending {
+			var err error
+			if buf.B, err = protocol.AppendFrame(buf.B, m.typ, m.payload); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if _, err := io.Discard.Write(buf.B); err != nil {
+			tb.Fatal(err)
+		}
+		for j := range f.pending {
+			f.pending[j].shared.release()
+			f.pending[j] = outMsg{}
+		}
+		protocol.PutBuffer(buf)
+	}
+}
+
+// aoiBenchCases: the world-scaling rows hold the visible set fixed while
+// the world (entities and area, constant density) grows — AoI cost must
+// stay flat where the legacy full-world fan-out grows linearly. The
+// visible-scaling rows hold the world fixed while the in-footprint share
+// grows — AoI cost must grow linearly with it.
+var aoiBenchCases = []struct {
+	name    string
+	total   int
+	visible int
+	world   float64
+}{
+	{"world=2k/visible=512", 2_000, 512, 1400},
+	{"world=10k/visible=512", 10_000, 512, 3200},
+	{"world=40k/visible=512", 40_000, 512, 6400},
+	{"world=16k/visible=1k", 16_000, 1_000, 4000},
+	{"world=16k/visible=4k", 16_000, 4_000, 4000},
+	{"world=16k/visible=16k", 16_000, 16_000, 4000},
+}
+
+// BenchmarkAoITickFanout measures the interest-managed tick fan-out.
+// Alongside ns/op it reports fanoutB/tick — the Λ egress one tick puts on
+// the wire — which is the number the AoI layer exists to bound.
+func BenchmarkAoITickFanout(b *testing.B) {
+	for _, tc := range aoiBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			f := newAoIBenchFixture(tc.total, tc.visible, tc.world)
+			f.tickAoI(b) // warm pools and plan scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				bytes += f.tickAoI(b)
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "fanoutB/tick")
+		})
+	}
+}
+
+// BenchmarkLegacyTickFanout is the full-world baseline on the identical
+// fixture: egress is total-entity- (and supernode-) proportional no matter
+// what the players can see.
+func BenchmarkLegacyTickFanout(b *testing.B) {
+	for _, tc := range aoiBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			f := newAoIBenchFixture(tc.total, tc.visible, tc.world)
+			f.tickLegacy(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				bytes += f.tickLegacy(b)
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "fanoutB/tick")
+		})
+	}
+}
+
+// TestAoIFanoutSteadyStateAllocs pins the AoI fan-out's allocation
+// discipline as a regression test: after warm-up, bucketing + per-cell
+// encode + enqueue + coalesced drain allocate nothing.
+func TestAoIFanoutSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under -race; allocation counts only hold without it")
+	}
+	f := newAoIBenchFixture(2048, 512, 1400)
+	// Convergence needs more warm-up than the single-payload fan-out test:
+	// the cycle keeps ~one pooled buffer per dirty cell, and buffers trade
+	// roles (cell payload vs coalesced frame) between ticks, so each tick
+	// can grow at most one more pool member to the high-water mark.
+	for i := 0; i < 512; i++ {
+		f.tickAoI(t)
+	}
+	if n := testing.AllocsPerRun(64, func() { f.tickAoI(t) }); n != 0 {
+		t.Fatalf("AoI fan-out allocates %.1f/op in steady state, want 0", n)
+	}
+}

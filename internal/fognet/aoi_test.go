@@ -1,0 +1,343 @@
+package fognet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cloudfog/internal/faultnet"
+	"cloudfog/internal/game"
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/rng"
+	"cloudfog/internal/virtualworld"
+)
+
+// startAoIFog is startFog with interest management on.
+func startAoIFog(t *testing.T, cloud *CloudServer, name string, capacity int) *FogNode {
+	t.Helper()
+	fog, err := NewFogNode(FogConfig{
+		Name:          name,
+		CloudAddr:     cloud.Addr(),
+		Capacity:      capacity,
+		FrameInterval: 10 * time.Millisecond,
+		AoI:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fog.Close() })
+	return fog
+}
+
+// TestAoIEndToEndStreaming runs the full loop over the interest-managed
+// stream: the fog reports its footprint, the cloud switches it to per-cell
+// batches (with a keyframe per gained cell), and the player still gets
+// frames that track the world.
+func TestAoIEndToEndStreaming(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startAoIFog(t, cloud, "fog-aoi", 4)
+
+	// Even before any player, the fog's (empty) report moves it off the
+	// full-world stream.
+	waitFor(t, 2*time.Second, "AoI switchover", func() bool {
+		return cloud.Stats().AoISupernodes == 1
+	})
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       7,
+		CloudAddr:      cloud.Addr(),
+		Game:           game.Catalog()[2],
+		ActionInterval: 10 * time.Millisecond,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	waitFor(t, 5*time.Second, "decoded frames", func() bool {
+		s := player.Stats()
+		return s.Frames >= 10 && s.LastTick > 0
+	})
+	fs := fog.Stats()
+	if fs.InterestUpdatesSent == 0 {
+		t.Error("no interest updates sent")
+	}
+	if fs.InterestCells == 0 {
+		t.Error("empty footprint with an attached player")
+	}
+	if fs.CellBatches == 0 {
+		t.Error("no cell batches applied")
+	}
+	if fs.KeyframesApplied == 0 {
+		t.Error("no cell-enter keyframes applied")
+	}
+	cs := cloud.Stats()
+	if cs.InterestUpdates == 0 || cs.KeyframeCells == 0 {
+		t.Errorf("cloud AoI counters: %+v", cs)
+	}
+	if cs.UpdateBits == 0 {
+		t.Error("no update egress counted for cell batches")
+	}
+}
+
+// TestAoIReplicaTracksAvatar asserts the partial view is exact where it
+// matters: the fog's replica position for an attached, moving player
+// converges to the cloud's authoritative one.
+func TestAoIReplicaTracksAvatar(t *testing.T) {
+	cloud := startCloud(t)
+	fog := startAoIFog(t, cloud, "fog-aoi", 4)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID:       9,
+		CloudAddr:      cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	waitFor(t, 5*time.Second, "replica tracks the avatar", func() bool {
+		ax, ay, ok := func() (float64, float64, bool) {
+			snap := cloud.currentSnapshot()
+			for _, e := range snap.Entities {
+				if e.Kind == virtualworld.KindAvatar && e.Owner == 9 {
+					return e.X, e.Y, true
+				}
+			}
+			return 0, 0, false
+		}()
+		if !ok {
+			return false
+		}
+		fog.mu.Lock()
+		rx, ry, rok := fog.replica.AvatarPos(9)
+		fog.mu.Unlock()
+		// Within a couple of ticks of movement (MoveSpeed 8/tick).
+		return rok && math.Abs(rx-ax) < 32 && math.Abs(ry-ay) < 32
+	})
+}
+
+// decodeCellBatchInto round-trips a cell batch through the wire encoding
+// before applying it, so parity covers the codec as well as the bucketing.
+func applyCellBatchWire(t testing.TB, r *virtualworld.Replica, geo virtualworld.GridGeom, cb protocol.CellBatch) {
+	t.Helper()
+	var got protocol.CellBatch
+	if err := protocol.DecodeCellBatch(cb.Marshal(), &got); err != nil {
+		t.Fatalf("cell batch round trip: %v", err)
+	}
+	if got.Keyframe {
+		r.ApplyCellKeyframe(got.Tick, geo, got.Cell, got.Deltas)
+	} else {
+		r.Apply(got.Tick, got.Deltas)
+	}
+}
+
+// FuzzAoIPartitionParity is the fan-out equivalence property: for any
+// delta stream, the union of the per-cell batches (global bucket plus
+// every dirty cell, i.e. a subscriber interested in everything) applied
+// to a replica produces exactly the same state as the legacy full-world
+// batch.
+func FuzzAoIPartitionParity(f *testing.F) {
+	f.Add(uint64(1), uint(40), uint(8))
+	f.Add(uint64(7), uint(0), uint(0))
+	f.Add(uint64(99), uint(200), uint(3))
+	f.Add(uint64(12345), uint(1), uint(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nDeltas, nSession uint) {
+		if nDeltas > 2048 {
+			nDeltas = nDeltas % 2048
+		}
+		if nSession > nDeltas {
+			nSession = nSession % (nDeltas + 1)
+		}
+		const width, height = 1000, 700
+		geo := virtualworld.Geometry(width, height, virtualworld.DefaultCellSize)
+		r := rng.New(seed).SplitNamed("aoi-parity")
+
+		// A shared base population both replicas start from.
+		base := virtualworld.NewReplica(width, height)
+		full := virtualworld.NewReplica(width, height)
+		var seedDeltas []virtualworld.Delta
+		for i := 0; i < 32; i++ {
+			id := virtualworld.EntityID(i + 1)
+			seedDeltas = append(seedDeltas, virtualworld.Delta{ID: id, Entity: virtualworld.Entity{
+				ID: id, Kind: virtualworld.KindNPC, Owner: -1,
+				X: r.Float64() * width, Y: r.Float64() * height, HP: 50, Version: 1,
+			}})
+		}
+		base.Apply(1, seedDeltas)
+		full.Apply(1, seedDeltas)
+
+		// One tick's worth of deltas: the first nSession are session events
+		// (spawns/removals without positions guaranteed meaningful), the
+		// rest positioned updates; a sprinkling of removals throughout.
+		// The generator keeps the real per-tick invariant — an entity is
+		// either removed or updated within one tick, never both — because
+		// the AoI partition only preserves ordering across buckets per
+		// entity, not between a removal and a same-tick resurrection (a
+		// stream Step cannot emit).
+		const (
+			stateUpdated = 1
+			stateRemoved = 2
+		)
+		idState := make(map[virtualworld.EntityID]byte)
+		deltas := make([]virtualworld.Delta, 0, nDeltas)
+		for i := uint(0); i < nDeltas; i++ {
+			id := virtualworld.EntityID(r.Intn(64) + 1)
+			if r.Float64() < 0.15 && idState[id] == 0 {
+				idState[id] = stateRemoved
+				deltas = append(deltas, virtualworld.Delta{ID: id, Removed: true})
+				continue
+			}
+			if idState[id] == stateRemoved {
+				continue
+			}
+			idState[id] = stateUpdated
+			deltas = append(deltas, virtualworld.Delta{ID: id, Entity: virtualworld.Entity{
+				ID: id, Kind: virtualworld.KindNPC, Owner: -1,
+				X: r.Float64() * width, Y: r.Float64() * height,
+				HP: int16(r.Intn(100)), Version: uint32(i) + 2,
+			}})
+		}
+
+		var plan aoiPlan
+		plan.build(geo, deltas, int(nSession))
+
+		// Full-world replica applies the legacy batch.
+		full.Apply(2, deltas)
+
+		// AoI replica applies the partition: global bucket first (session
+		// events and removals), then each dirty cell, as a fully-subscribed
+		// supernode would receive them.
+		applyCellBatchWire(t, base, geo, protocol.CellBatch{
+			Tick: 2, Cell: virtualworld.CellNone, Deltas: plan.global})
+		for i := 0; i < plan.numDirty(); i++ {
+			cell, cd := plan.cellDeltas(i)
+			applyCellBatchWire(t, base, geo, protocol.CellBatch{Tick: 2, Cell: cell, Deltas: cd})
+		}
+
+		if got, want := base.Snapshot(), full.Snapshot(); !got.Equal(want) {
+			t.Fatalf("partition parity broken (seed=%d n=%d s=%d):\naoi:  %+v\nfull: %+v",
+				seed, nDeltas, nSession, got, want)
+		}
+	})
+}
+
+// TestAoIInterestSurvivesBlackhole is the chaos case: the fog's cloud link
+// blackholes mid-session while the player keeps moving, so the footprint
+// the cloud holds goes stale and interest updates vanish in flight. After
+// the fog reconnects, AoI must rearm from scratch — fresh report, fresh
+// keyframes — and the replica must converge back to the authoritative
+// avatar position instead of serving stale-cell state.
+func TestAoIInterestSurvivesBlackhole(t *testing.T) {
+	cloud := startChaosCloud(t, nil)
+	inj := faultnet.NewInjector(faultnet.Profile{Seed: 200})
+	fog, err := NewFogNode(FogConfig{
+		Name: "fog-aoi-chaos", CloudAddr: cloud.Addr(),
+		Capacity: 4, FrameInterval: 10 * time.Millisecond,
+		AoI:              true,
+		Dial:             inj.Dial,
+		ReconnectBackoff: 20 * time.Millisecond,
+		WriteTimeout:     200 * time.Millisecond,
+		Seed:             200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fog.Close()
+	waitFor(t, 2*time.Second, "AoI registration", func() bool {
+		return cloud.Stats().AoISupernodes == 1
+	})
+
+	player, perr := NewPlayerClient(PlayerConfig{
+		PlayerID: 41, CloudAddr: cloud.Addr(),
+		ActionInterval: 5 * time.Millisecond, Seed: 41,
+	})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	defer player.Close()
+	waitFor(t, 5*time.Second, "streaming with a footprint", func() bool {
+		fs := fog.Stats()
+		return fs.InterestCells > 0 && fs.KeyframesApplied > 0 && player.Stats().Frames > 3
+	})
+	sentBefore := fog.Stats().InterestUpdatesSent
+	keyframesBefore := fog.Stats().KeyframesApplied
+
+	// Blackhole the fog↔cloud link. The player keeps acting (its control
+	// connection is separate), so the authoritative avatar walks away from
+	// whatever cells the cloud last heard the fog wanted.
+	inj.SetMode(faultnet.Blackhole)
+	time.Sleep(300 * time.Millisecond)
+	inj.SetMode(faultnet.Healthy)
+
+	// The fog reconnects (eviction or dead-conn detection), rearms AoI,
+	// re-reports, and gets keyframes for the re-entered cells.
+	waitFor(t, 10*time.Second, "AoI rearmed after reconnect", func() bool {
+		fs := fog.Stats()
+		return fs.Resilience.Reconnects >= 1 &&
+			fs.InterestUpdatesSent > sentBefore &&
+			fs.KeyframesApplied > keyframesBefore
+	})
+	// No stale-cell state reaches the player: the replica's avatar view
+	// reconverges to the authoritative position.
+	waitFor(t, 5*time.Second, "replica reconverged", func() bool {
+		snap := cloud.currentSnapshot()
+		var ax, ay float64
+		found := false
+		for _, e := range snap.Entities {
+			if e.Kind == virtualworld.KindAvatar && e.Owner == 41 {
+				ax, ay, found = e.X, e.Y, true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		fog.mu.Lock()
+		rx, ry, rok := fog.replica.AvatarPos(41)
+		fog.mu.Unlock()
+		return rok && math.Abs(rx-ax) < 32 && math.Abs(ry-ay) < 32
+	})
+}
+
+// TestAoIBackCompat pins the opt-in contract: a fog that never reports
+// interest keeps receiving the legacy full-world stream, byte for byte the
+// same message type as before the AoI layer existed.
+func TestAoIBackCompat(t *testing.T) {
+	cloud := startCloud(t)
+	legacy := startFog(t, cloud, "fog-legacy", 4)
+	aoi := startAoIFog(t, cloud, "fog-aoi", 4)
+
+	player, err := NewPlayerClient(PlayerConfig{
+		PlayerID: 11, CloudAddr: cloud.Addr(),
+		ActionInterval: 10 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer player.Close()
+
+	// The legacy fog tracks every tick. The AoI fog has no players, so its
+	// footprint is empty and it receives only the global bucket — the
+	// player's join (a session delta) is broadcast to it, and that is all
+	// the traffic an idle subscriber costs.
+	waitFor(t, 5*time.Second, "replicas see their streams", func() bool {
+		return legacy.Stats().ReplicaTick > 10 && aoi.Stats().CellBatches >= 1
+	})
+	cs := cloud.Stats()
+	if cs.Supernodes != 2 || cs.AoISupernodes != 1 {
+		t.Errorf("supernode split: %+v", cs)
+	}
+	ls := legacy.Stats()
+	if ls.CellBatches != 0 || ls.InterestUpdatesSent != 0 {
+		t.Errorf("legacy fog saw AoI traffic: %+v", ls)
+	}
+	// Both replicas track the same world; the legacy one applies full
+	// batches, so its applied-delta counter keeps climbing.
+	if ls.AppliedDeltas == 0 {
+		t.Error("legacy fog applied nothing")
+	}
+}

@@ -177,6 +177,20 @@ type CloudServer struct {
 	// logEntry is the delta-log encode scratch; only the tick loop
 	// touches it.
 	logEntry checkpoint.LogEntry
+	// AoI fan-out state. aoi buckets each tick's deltas by grid cell;
+	// fanSNs, keyPlan, and keyDeltas are tick-loop capture/keyframe
+	// scratch, all reused across ticks so the steady-state fan-out
+	// allocates nothing. aoiIDScratch/aoiCellScratch back the keyframe
+	// and interest-widening lookups. Only keyframe gathering and the
+	// interest counters run under mu; the rest is tick-loop-owned.
+	aoi             aoiPlan
+	fanSNs          []fanSN
+	keyPlan         []keyItem
+	keyDeltas       []virtualworld.Delta
+	aoiIDScratch    []virtualworld.EntityID
+	aoiCellScratch  []uint32
+	interestUpdates int64 // guarded by mu
+	keyframeCells   int64 // guarded by mu
 
 	// Hot-path counters live outside mu: the per-supernode writer
 	// goroutines and the non-blocking enqueue bump them on every tick
@@ -290,6 +304,13 @@ type supernodeConn struct {
 	// lastAttached is the player count from the latest heartbeat ack
 	// (cloud mu) — the load the ladder ranking sorts by.
 	lastAttached int
+	// interest is the supernode's AoI cell subscription, nil until the fog
+	// reports one (nil = legacy full-world stream). The set itself is
+	// immutable; updates swap the pointer (cloud mu).
+	interest *interestSet
+	// pendingKey lists cells gained by the latest interest update, each
+	// owed a full-state keyframe on the next tick (cloud mu).
+	pendingKey []uint32
 }
 
 // playerConn is a player's control connection; sendMu serializes the
@@ -521,10 +542,18 @@ type CloudStats struct {
 	// RestoredHash exactly.
 	RestoredHash uint64
 	RestoredTick uint64
-	// UpdateBits is the total update-stream egress (the Λ traffic).
+	// UpdateBits is the total update-stream egress (the Λ traffic),
+	// full-world batches and AoI cell batches combined.
 	UpdateBits int64
 	// Supernodes is the number of registered supernodes.
 	Supernodes int
+	// AoISupernodes is how many of them run interest-managed (cell-batch)
+	// streams; the rest get the legacy full-world stream.
+	AoISupernodes int
+	// InterestUpdates counts accepted AoI subscription changes.
+	InterestUpdates int64
+	// KeyframeCells counts cell-enter keyframes sent.
+	KeyframeCells int64
 	// Players is the number of admitted players.
 	Players int
 	// Entities is the current world entity count.
@@ -546,6 +575,12 @@ func (s *CloudServer) Stats() CloudStats {
 	defer s.mu.Unlock()
 	resil := s.resil
 	resil.SendQueueDrops = s.queueDrops.Load()
+	aoiSNs := 0
+	for _, sn := range s.supernodes {
+		if sn.interest != nil {
+			aoiSNs++
+		}
+	}
 	return CloudStats{
 		Ticks:           s.ticks,
 		Tick:            s.world.Tick(),
@@ -555,6 +590,9 @@ func (s *CloudServer) Stats() CloudStats {
 		RestoredTick:    s.restoredTick,
 		UpdateBits:      s.updateBits.Load(),
 		Supernodes:      len(s.supernodes),
+		AoISupernodes:   aoiSNs,
+		InterestUpdates: s.interestUpdates,
+		KeyframeCells:   s.keyframeCells,
 		Players:         len(s.players),
 		Entities:        s.world.NumEntities(),
 		FallbackBits:    s.fallbackBits,
@@ -598,8 +636,9 @@ func (s *CloudServer) tickOnce() {
 	s.mu.Lock()
 	actions := s.pending
 	s.pending = nil
+	nSession := len(s.sessionDeltas)
 	deltas := s.world.Step(actions)
-	if len(s.sessionDeltas) > 0 {
+	if nSession > 0 {
 		// Fold membership changes (avatar spawns, departures) into the
 		// tick's delta stream so replicas and the standby's log both see
 		// them; Step's own deltas follow and overwrite where they overlap.
@@ -609,9 +648,31 @@ func (s *CloudServer) tickOnce() {
 	s.ticks++
 	tick := s.world.Tick()
 	nextID := s.world.NextID()
-	sns := make([]*supernodeConn, 0, len(s.supernodes))
+	geo := s.world.Grid().Geom()
+	// Capture the fan-out targets and each one's interest set into the
+	// reused scratch: after the unlock the tick loop reads only this
+	// capture (interest sets are immutable once installed).
+	s.fanSNs = s.fanSNs[:0]
+	aoiCount := 0
 	for _, sn := range s.supernodes {
-		sns = append(sns, sn)
+		s.fanSNs = append(s.fanSNs, fanSN{sn: sn, interest: sn.interest})
+		if sn.interest != nil {
+			aoiCount++
+		}
+	}
+	// Gather pending cell-enter keyframes while the lock is held: the
+	// payload is the cell's current (post-Step) entity population, read
+	// straight off the world grid.
+	s.keyPlan = s.keyPlan[:0]
+	s.keyDeltas = s.keyDeltas[:0]
+	for _, f := range s.fanSNs {
+		for _, c := range f.sn.pendingKey {
+			off := int32(len(s.keyDeltas))
+			s.keyDeltas = s.appendCellStateLocked(s.keyDeltas, c)
+			s.keyPlan = append(s.keyPlan, keyItem{sn: f.sn, cell: c, off: off, n: int32(len(s.keyDeltas)) - off})
+			s.keyframeCells++
+		}
+		f.sn.pendingKey = f.sn.pendingKey[:0]
 	}
 	standby := s.standby
 	var ckpt *sharedPayload
@@ -625,7 +686,8 @@ func (s *CloudServer) tickOnce() {
 	if standby != nil {
 		// One delta-log entry per tick, even when empty: the entry stream
 		// doubles as the liveness signal the standby's promotion timer
-		// watches.
+		// watches. The standby always gets the full-world stream — it must
+		// be able to take over for every cell.
 		s.logEntry.Epoch = s.epoch
 		s.logEntry.Tick = tick
 		s.logEntry.NextID = nextID
@@ -639,20 +701,77 @@ func (s *CloudServer) tickOnce() {
 		}
 	}
 
-	if len(deltas) == 0 || len(sns) == 0 {
+	// Cell-enter keyframes flush even on quiet ticks: a fog that just
+	// subscribed must not wait for the cell to change before seeing it.
+	for _, k := range s.keyPlan {
+		kb := protocol.CellBatch{Epoch: s.epoch, Tick: tick, Cell: k.cell,
+			Keyframe: true, Deltas: s.keyDeltas[k.off : k.off+k.n]}
+		sp := newSharedPayload(1)
+		sp.buf.B = kb.AppendTo(sp.buf.B[:0])
+		s.enqueue(k.sn, outMsg{typ: protocol.MsgCellBatch, payload: sp.buf.B, shared: sp})
+	}
+
+	if len(deltas) == 0 || len(s.fanSNs) == 0 {
 		return
 	}
-	// Encode the batch once into a pooled, reference-counted buffer shared
-	// by every supernode queue: one encode per tick regardless of fan-out
-	// width, and the buffer returns to the pool after the last flush.
-	batch := protocol.UpdateBatch{Epoch: s.epoch, Tick: tick, Deltas: deltas}
-	sp := newSharedPayload(len(sns))
-	sp.buf.B = batch.AppendTo(sp.buf.B[:0])
-	for _, sn := range sns {
-		// Enqueue only: the per-supernode writer goroutine does the
-		// blocking work, so a stalled supernode can never stall this
-		// fan-out.
-		s.enqueue(sn, outMsg{typ: protocol.MsgUpdateBatch, payload: sp.buf.B, shared: sp})
+	if n := len(s.fanSNs) - aoiCount; n > 0 {
+		// Legacy path for supernodes with no interest set: the full batch,
+		// encoded once into a pooled, reference-counted buffer shared by
+		// every such queue, exactly as before AoI existed.
+		batch := protocol.UpdateBatch{Epoch: s.epoch, Tick: tick, Deltas: deltas}
+		sp := newSharedPayload(n)
+		sp.buf.B = batch.AppendTo(sp.buf.B[:0])
+		for _, f := range s.fanSNs {
+			if f.interest != nil {
+				continue
+			}
+			// Enqueue only: the per-supernode writer goroutine does the
+			// blocking work, so a stalled supernode can never stall this
+			// fan-out.
+			s.enqueue(f.sn, outMsg{typ: protocol.MsgUpdateBatch, payload: sp.buf.B, shared: sp})
+		}
+	}
+	if aoiCount == 0 {
+		return
+	}
+	// AoI fan-out: bucket the tick's deltas by grid cell once, then encode
+	// each dirty cell once and hand it only to the supernodes subscribed
+	// to that cell. Per-tick cost is O(deltas + dirty cells × supernodes),
+	// independent of world size.
+	s.aoi.build(geo, deltas, nSession)
+	if len(s.aoi.global) > 0 {
+		// Position-less deltas (removals, session events) go to every AoI
+		// subscriber under the CellNone sentinel.
+		gb := protocol.CellBatch{Epoch: s.epoch, Tick: tick,
+			Cell: virtualworld.CellNone, Deltas: s.aoi.global}
+		sp := newSharedPayload(aoiCount)
+		sp.buf.B = gb.AppendTo(sp.buf.B[:0])
+		for _, f := range s.fanSNs {
+			if f.interest != nil {
+				s.enqueue(f.sn, outMsg{typ: protocol.MsgCellBatch, payload: sp.buf.B, shared: sp})
+			}
+		}
+	}
+	for i := 0; i < s.aoi.numDirty(); i++ {
+		cell := s.aoi.cell(i)
+		subs := 0
+		for _, f := range s.fanSNs {
+			if f.interest != nil && f.interest.has(cell) {
+				subs++
+			}
+		}
+		if subs == 0 {
+			continue // nobody watches this cell: zero encode, zero gather
+		}
+		_, cd := s.aoi.cellDeltas(i)
+		cb := protocol.CellBatch{Epoch: s.epoch, Tick: tick, Cell: cell, Deltas: cd}
+		sp := newSharedPayload(subs)
+		sp.buf.B = cb.AppendTo(sp.buf.B[:0])
+		for _, f := range s.fanSNs {
+			if f.interest != nil && f.interest.has(cell) {
+				s.enqueue(f.sn, outMsg{typ: protocol.MsgCellBatch, payload: sp.buf.B, shared: sp})
+			}
+		}
 	}
 }
 
@@ -735,7 +854,7 @@ func (s *CloudServer) snWriter(sn *supernodeConn) {
 				if buf.B, err = protocol.AppendFrame(buf.B, m.typ, m.payload); err != nil {
 					break
 				}
-				if m.typ == protocol.MsgUpdateBatch {
+				if m.typ == protocol.MsgUpdateBatch || m.typ == protocol.MsgCellBatch {
 					batchBits += int64(len(m.payload)+protocol.HeaderLen) * 8
 				}
 			}
@@ -1253,6 +1372,7 @@ func (s *CloudServer) serveSupernode(conn net.Conn, payload []byte) {
 // decoded into owned values before the next read.
 func (s *CloudServer) snReadLoop(sn *supernodeConn, conn net.Conn) {
 	fr := protocol.NewFrameReader(conn)
+	var iu protocol.InterestUpdate // decode scratch, reused per message
 readLoop:
 	for {
 		typ, payload, rerr := fr.Next()
@@ -1260,6 +1380,11 @@ readLoop:
 			break
 		}
 		switch typ {
+		case protocol.MsgInterestUpdate:
+			if ierr := protocol.DecodeInterestUpdate(payload, &iu); ierr != nil {
+				continue
+			}
+			s.applyInterest(sn, &iu)
 		case protocol.MsgHeartbeatAck:
 			ack, aerr := protocol.UnmarshalHeartbeatAck(payload)
 			if aerr != nil {

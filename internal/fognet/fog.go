@@ -69,6 +69,15 @@ type FogConfig struct {
 	// WrapDatagram, when set, wraps the UDP socket — the faultnet
 	// injection point for lossy-path chaos tests.
 	WrapDatagram transport.WrapDatagramFunc
+	// AoI enables interest management: the node reports the grid cells
+	// its attached players can see (plus a hysteresis margin) and the
+	// cloud sends per-cell batches for just those cells instead of the
+	// full-world update stream. Off by default — a node that never
+	// reports interest behaves exactly as before.
+	AoI bool
+	// AoIMargin is the hysteresis margin in world units around each
+	// player's viewport. Defaults to DefaultAoIMargin.
+	AoIMargin float64
 }
 
 // FogResilience groups the supernode's failure-handling counters.
@@ -122,6 +131,14 @@ type FogNode struct {
 	frames    int64
 	probes    int64
 	resil     FogResilience
+	// aoi is the interest-management tracker, nil unless cfg.AoI. The
+	// pointer itself is immutable — set before the node's goroutines
+	// start — so nil checks need no lock; its mutable fields have their
+	// own locking discipline (see fogInterest).
+	aoi              *fogInterest
+	interestSent     int64 // guarded by mu
+	cellBatches      int64 // guarded by mu
+	keyframesApplied int64 // guarded by mu
 
 	// The failover view: the authority epoch of the cloud currently
 	// followed, its address, and the advertised standby. reconnect walks
@@ -173,6 +190,9 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	if cfg.ReconnectBackoffMax <= 0 {
 		cfg.ReconnectBackoffMax = DefaultReconnectBackoffMax
 	}
+	if cfg.AoI && cfg.AoIMargin <= 0 {
+		cfg.AoIMargin = DefaultAoIMargin
+	}
 	tp := transport.TCP{Config: tc, DialFunc: cfg.Dial}
 	ln, err := tp.Listen(cfg.StreamAddr)
 	if err != nil {
@@ -212,11 +232,18 @@ func NewFogNode(cfg FogConfig) (*FogNode, error) {
 	f.standbyAddr = welcome.StandbyAddr
 	f.replica = virtualworld.NewReplica(welcome.Snapshot.Width, welcome.Snapshot.Height)
 	f.replica.Seed(welcome.Snapshot)
+	if cfg.AoI {
+		f.aoi = &fogInterest{margin: cfg.AoIMargin}
+		f.resetInterestLocked()
+	}
 	f.mu.Unlock()
 
 	f.wg.Add(2)
 	go f.updateLoop()
 	go f.acceptLoop()
+	// Report the initial (typically empty) footprint so an idle node
+	// drops off the full-world stream right away.
+	f.refreshInterest()
 	return f, nil
 }
 
@@ -338,6 +365,16 @@ type FogStats struct {
 	// AppliedDeltas / StaleDeltas are replica counters.
 	AppliedDeltas int
 	StaleDeltas   int
+	// InterestUpdatesSent counts AoI subscription reports sent upstream;
+	// InterestCells is the current footprint size in cells. Both are zero
+	// when AoI is off.
+	InterestUpdatesSent int64
+	InterestCells       int
+	// CellBatches / KeyframesApplied count the AoI update stream: per-cell
+	// delta batches applied, and how many of them were cell-enter
+	// keyframes.
+	CellBatches      int64
+	KeyframesApplied int64
 	// Resilience groups the failure-handling counters.
 	Resilience FogResilience
 }
@@ -351,16 +388,22 @@ func (f *FogNode) Stats() FogStats {
 		buffered += len(q)
 	}
 	st := FogStats{
-		ReplicaTick:   f.replica.Tick(),
-		Epoch:         f.epoch,
-		BufferedNow:   buffered,
-		Attached:      len(f.attached),
-		Frames:        f.frames,
-		VideoBits:     f.videoBits,
-		Probes:        f.probes,
-		AppliedDeltas: f.replica.AppliedDeltas(),
-		StaleDeltas:   f.replica.StaleDeltas(),
-		Resilience:    f.resil,
+		ReplicaTick:         f.replica.Tick(),
+		Epoch:               f.epoch,
+		BufferedNow:         buffered,
+		Attached:            len(f.attached),
+		Frames:              f.frames,
+		VideoBits:           f.videoBits,
+		Probes:              f.probes,
+		AppliedDeltas:       f.replica.AppliedDeltas(),
+		StaleDeltas:         f.replica.StaleDeltas(),
+		InterestUpdatesSent: f.interestSent,
+		CellBatches:         f.cellBatches,
+		KeyframesApplied:    f.keyframesApplied,
+		Resilience:          f.resil,
+	}
+	if f.aoi != nil {
+		st.InterestCells = len(f.aoi.cells)
 	}
 	if f.dgram != nil {
 		st.DatagramSessions = f.dgram.sessOpen.Load()
@@ -383,6 +426,7 @@ func (f *FogNode) Stats() FogStats {
 func (f *FogNode) updateLoop() {
 	defer f.wg.Done()
 	var batch protocol.UpdateBatch
+	var cellBatch protocol.CellBatch
 	var ackBuf []byte
 	for {
 		f.mu.Lock()
@@ -410,6 +454,28 @@ func (f *FogNode) updateLoop() {
 				}
 				f.replica.Apply(batch.Tick, batch.Deltas)
 				f.mu.Unlock()
+				f.refreshInterest()
+			case protocol.MsgCellBatch:
+				if berr := protocol.DecodeCellBatch(payload, &cellBatch); berr != nil {
+					continue
+				}
+				f.mu.Lock()
+				if cellBatch.Epoch > f.epoch {
+					f.epoch = cellBatch.Epoch
+				}
+				if cellBatch.Keyframe && f.aoi != nil && f.aoi.ready {
+					// Cell-enter seed: prune in-cell entities the batch does
+					// not mention, then apply its full population.
+					f.replica.ApplyCellKeyframe(cellBatch.Tick, f.aoi.geo, cellBatch.Cell, cellBatch.Deltas)
+					f.keyframesApplied++
+				} else {
+					// Ordinary cell deltas — including the CellNone global
+					// bucket (removals, session events) — apply as-is.
+					f.replica.Apply(cellBatch.Tick, cellBatch.Deltas)
+				}
+				f.cellBatches++
+				f.mu.Unlock()
+				f.refreshInterest()
 			case protocol.MsgHeartbeat:
 				hb, herr := protocol.UnmarshalHeartbeat(payload)
 				if herr != nil {
@@ -513,6 +579,9 @@ func (f *FogNode) reconnect() bool {
 			f.authority = addr
 			f.standbyAddr = reply.StandbyAddr
 			f.replica.Seed(reply.Snapshot) // resync: drop stale state wholesale
+			// The new connection has no subscription; rearm AoI so the
+			// footprint is recomputed and re-reported from scratch.
+			f.resetInterestLocked()
 			if reply.Discard {
 				f.resil.DiscardedResyncs++
 			}
@@ -530,6 +599,7 @@ func (f *FogNode) reconnect() bool {
 				return false
 			}
 			f.flushActions()
+			f.refreshInterest()
 			return true
 		}
 	}
@@ -724,10 +794,17 @@ func (f *FogNode) servePlayer(conn net.Conn) {
 		}
 	}
 	conn.SetDeadline(time.Time{}) // handshake read+write deadlines no longer apply
+	// The attach set changed: the AoI footprint must cover the new
+	// player's surroundings before its first frames render.
+	f.interestDirty()
+	f.refreshInterest()
 	defer func() {
 		f.mu.Lock()
 		delete(f.attached, playerID)
 		f.mu.Unlock()
+		// Departure shrinks the footprint (after hysteresis).
+		f.interestDirty()
+		f.refreshInterest()
 	}()
 	runVideoSession(conn, playerID, level, f.cfg.FrameInterval, f.cfg.WriteTimeout,
 		f, f, f, f, f.stop, &f.wg)

@@ -1,0 +1,183 @@
+package protocol
+
+import "cloudfog/internal/virtualworld"
+
+// This file encodes the interest-management messages of DESIGN.md §14:
+// fogs report their players' AoI footprint upstream (InterestUpdate) and
+// the cloud answers with per-cell slices of the Λ update stream
+// (CellBatch) instead of the full-world MsgUpdateBatch. Both follow the
+// PR 3 conventions: AppendTo append-encoders, DecodeInto decoders that
+// reuse the destination's slice capacity, arithmetic size accounting.
+
+// InterestUpdate is a supernode's AoI subscription: the set of grid cells
+// covering its attached players' viewports plus the hysteresis margin,
+// and the player IDs themselves so the cloud can widen the set with the
+// authoritative avatar positions (the fog's replica view of a player it
+// just gained may be stale).
+type InterestUpdate struct {
+	// Gen is a fog-local generation counter; the cloud keeps the highest
+	// seen so a reordered/duplicated update can never roll the set back.
+	Gen uint32
+	// CellSize is the grid cell edge the footprint was computed with. A
+	// mismatch with the cloud's geometry voids the update (the supernode
+	// stays full-world) rather than mis-mapping cell IDs.
+	CellSize float64
+	// Players are the attached player IDs, ascending.
+	Players []int32
+	// Cells are the subscribed cell IDs, ascending.
+	Cells []uint32
+}
+
+// Marshal encodes the message.
+func (m InterestUpdate) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m InterestUpdate) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u32(m.Gen)
+	w.f64(m.CellSize)
+	w.u32(uint32(len(m.Players)))
+	for _, p := range m.Players {
+		w.i32(p)
+	}
+	w.u32(uint32(len(m.Cells)))
+	for _, c := range m.Cells {
+		w.u32(c)
+	}
+	return w.buf
+}
+
+// EncodedSize returns the exact Marshal()ed length in bytes.
+func (m InterestUpdate) EncodedSize() int {
+	return 4 + 8 + 4 + 4*len(m.Players) + 4 + 4*len(m.Cells)
+}
+
+// UnmarshalInterestUpdate decodes the message.
+func UnmarshalInterestUpdate(buf []byte) (InterestUpdate, error) {
+	var m InterestUpdate
+	err := DecodeInterestUpdate(buf, &m)
+	return m, err
+}
+
+// DecodeInterestUpdate decodes into m, reusing m.Players' and m.Cells'
+// capacity. On error m holds partially decoded data and must not be used.
+func DecodeInterestUpdate(buf []byte, m *InterestUpdate) error {
+	r := &reader{buf: buf}
+	m.Gen = r.u32()
+	m.CellSize = r.f64()
+	m.Players = m.Players[:0]
+	np := int(r.u32())
+	if np > MaxPayload/4 {
+		return ErrTooLarge
+	}
+	for i := 0; i < np && r.err == nil; i++ {
+		m.Players = append(m.Players, r.i32())
+	}
+	m.Cells = m.Cells[:0]
+	nc := int(r.u32())
+	if nc > MaxPayload/4 {
+		return ErrTooLarge
+	}
+	for i := 0; i < nc && r.err == nil; i++ {
+		m.Cells = append(m.Cells, r.u32())
+	}
+	return r.finish()
+}
+
+// CellBatch carries one tick's deltas for one grid cell — one slice of
+// the Λ stream, encoded once per dirty cell and fanned to exactly the
+// supernodes subscribed to that cell.
+type CellBatch struct {
+	// Epoch is the authority epoch of the sending cloud (same semantics
+	// as UpdateBatch.Epoch).
+	Epoch uint64
+	// Tick is the world tick the deltas belong to.
+	Tick uint64
+	// Cell is the grid cell the deltas fall in, or virtualworld.CellNone
+	// for position-less deltas (removals and session events) that every
+	// subscriber receives.
+	Cell uint32
+	// Keyframe marks a cell-enter seed: Deltas is the cell's complete
+	// entity population, and the receiver prunes in-cell entities the
+	// batch does not mention.
+	Keyframe bool
+	// Deltas are the changed (or, for a keyframe, all) entities, sorted
+	// by ID.
+	Deltas []virtualworld.Delta
+}
+
+// Marshal encodes the message.
+func (m CellBatch) Marshal() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded message to buf and returns the extended
+// slice; with enough capacity it does not allocate.
+func (m CellBatch) AppendTo(buf []byte) []byte {
+	w := writer{buf: buf}
+	w.u64(m.Epoch)
+	w.u64(m.Tick)
+	w.u32(m.Cell)
+	if m.Keyframe {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(m.Deltas)))
+	for _, d := range m.Deltas {
+		w.u32(uint32(d.ID))
+		if d.Removed {
+			w.u8(1)
+		} else {
+			w.u8(0)
+			putEntity(&w, d.Entity)
+		}
+	}
+	return w.buf
+}
+
+// UnmarshalCellBatch decodes the message.
+func UnmarshalCellBatch(buf []byte) (CellBatch, error) {
+	var m CellBatch
+	err := DecodeCellBatch(buf, &m)
+	return m, err
+}
+
+// DecodeCellBatch decodes into m, reusing m.Deltas' capacity — the
+// allocation-free decode for the supernode's per-tick apply loop. On
+// error m holds partially decoded data and must not be used.
+func DecodeCellBatch(buf []byte, m *CellBatch) error {
+	r := &reader{buf: buf}
+	m.Epoch = r.u64()
+	m.Tick = r.u64()
+	m.Cell = r.u32()
+	m.Keyframe = r.u8() == 1
+	m.Deltas = m.Deltas[:0]
+	n := int(r.u32())
+	if n > MaxPayload/5 {
+		return ErrTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		id := virtualworld.EntityID(r.u32())
+		if r.u8() == 1 {
+			m.Deltas = append(m.Deltas, virtualworld.Delta{ID: id, Removed: true})
+		} else {
+			m.Deltas = append(m.Deltas, virtualworld.Delta{ID: id, Entity: getEntity(r)})
+		}
+	}
+	return r.finish()
+}
+
+// SizeBits returns the encoded size in bits (Λ accounting).
+func (m CellBatch) SizeBits() int { return m.EncodedSize() * 8 }
+
+// EncodedSize returns the exact Marshal()ed length in bytes.
+func (m CellBatch) EncodedSize() int {
+	n := 8 + 8 + 4 + 1 + 4 // epoch + tick + cell + keyframe + delta count
+	for _, d := range m.Deltas {
+		n += 4 + 1
+		if !d.Removed {
+			n += EntityWireBytes
+		}
+	}
+	return n
+}

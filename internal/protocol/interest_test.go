@@ -1,0 +1,133 @@
+package protocol
+
+import (
+	"testing"
+
+	"cloudfog/internal/virtualworld"
+)
+
+func TestInterestUpdateRoundTrip(t *testing.T) {
+	cases := []InterestUpdate{
+		{},
+		{Gen: 1, CellSize: 64, Players: []int32{3}, Cells: []uint32{0, 1, 16, 17}},
+		{Gen: 9000, CellSize: 32.5, Players: []int32{-1, 0, 7, 2048}, Cells: []uint32{255}},
+		{Gen: 2, CellSize: 64, Cells: []uint32{virtualworld.CellNone}},
+	}
+	for _, m := range cases {
+		got, err := UnmarshalInterestUpdate(m.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal %+v: %v", m, err)
+		}
+		if got.Gen != m.Gen || got.CellSize != m.CellSize ||
+			len(got.Players) != len(m.Players) || len(got.Cells) != len(m.Cells) {
+			t.Fatalf("round trip %+v -> %+v", m, got)
+		}
+		for i := range m.Players {
+			if got.Players[i] != m.Players[i] {
+				t.Fatalf("players differ: %v vs %v", got.Players, m.Players)
+			}
+		}
+		for i := range m.Cells {
+			if got.Cells[i] != m.Cells[i] {
+				t.Fatalf("cells differ: %v vs %v", got.Cells, m.Cells)
+			}
+		}
+		if got, want := m.EncodedSize(), len(m.Marshal()); got != want {
+			t.Fatalf("EncodedSize = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestInterestUpdateTruncated(t *testing.T) {
+	buf := InterestUpdate{Gen: 1, CellSize: 64, Players: []int32{1, 2}, Cells: []uint32{3, 4}}.Marshal()
+	for i := 0; i < len(buf); i++ {
+		if _, err := UnmarshalInterestUpdate(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func testCellBatch(n int) CellBatch {
+	m := CellBatch{Epoch: 3, Tick: 77, Cell: 12, Keyframe: true}
+	for i := 0; i < n; i++ {
+		m.Deltas = append(m.Deltas, virtualworld.Delta{
+			ID: virtualworld.EntityID(i + 1),
+			Entity: virtualworld.Entity{
+				ID: virtualworld.EntityID(i + 1), Kind: virtualworld.KindNPC,
+				Owner: -1, X: float64(i), Y: float64(2 * i), HP: 50, Version: uint32(i + 1),
+			},
+		})
+	}
+	if n > 1 {
+		m.Deltas[n-1] = virtualworld.Delta{ID: virtualworld.EntityID(n), Removed: true}
+	}
+	return m
+}
+
+func TestCellBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64} {
+		m := testCellBatch(n)
+		got, err := UnmarshalCellBatch(m.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal n=%d: %v", n, err)
+		}
+		if got.Epoch != m.Epoch || got.Tick != m.Tick || got.Cell != m.Cell ||
+			got.Keyframe != m.Keyframe || len(got.Deltas) != len(m.Deltas) {
+			t.Fatalf("round trip n=%d: %+v -> %+v", n, m, got)
+		}
+		for i := range m.Deltas {
+			if got.Deltas[i] != m.Deltas[i] {
+				t.Fatalf("delta %d differs: %+v vs %+v", i, got.Deltas[i], m.Deltas[i])
+			}
+		}
+		if got, want := m.EncodedSize(), len(m.Marshal()); got != want {
+			t.Fatalf("EncodedSize(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCellBatchTruncated(t *testing.T) {
+	buf := testCellBatch(3).Marshal()
+	for i := 0; i < len(buf); i++ {
+		if _, err := UnmarshalCellBatch(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+// TestDecodeCellBatchSteadyStateAllocs pins the fog-side per-cell decode
+// at zero allocations once the delta slice capacity is warm — the same
+// bar DecodeUpdateBatch holds.
+func TestDecodeCellBatchSteadyStateAllocs(t *testing.T) {
+	payload := testCellBatch(64).Marshal()
+	var m CellBatch
+	if err := DecodeCellBatch(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeCellBatch(payload, &m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeCellBatch steady state: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecodeInterestUpdateSteadyStateAllocs pins the cloud-side decode.
+func TestDecodeInterestUpdateSteadyStateAllocs(t *testing.T) {
+	payload := InterestUpdate{Gen: 4, CellSize: 64,
+		Players: []int32{1, 2, 3, 4}, Cells: []uint32{0, 1, 2, 3, 16, 17, 18, 19}}.Marshal()
+	var m InterestUpdate
+	if err := DecodeInterestUpdate(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeInterestUpdate(payload, &m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeInterestUpdate steady state: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -102,6 +102,19 @@ const (
 	// session token the player's hello datagram must echo. OK=false means
 	// the node does not offer datagram video and TCP streaming continues.
 	MsgDatagramReply
+	// MsgInterestUpdate reports a supernode's area-of-interest footprint
+	// to the cloud: the grid cells its attached players' viewports (plus
+	// hysteresis margin) cover. The cloud then narrows that supernode's
+	// update stream to the subscribed cells. A supernode that never sends
+	// one stays on the full-world stream (DESIGN.md §14).
+	MsgInterestUpdate
+	// MsgCellBatch carries one tick's deltas for one grid cell to a
+	// subscribed supernode — the AoI-filtered replacement for
+	// MsgUpdateBatch. A keyframe cell batch carries the cell's complete
+	// entity population (sent when a supernode gains the cell); the
+	// CellNone sentinel carries position-less deltas (removals, session
+	// events) broadcast to every subscriber.
+	MsgCellBatch
 )
 
 // String names the message type.
@@ -155,6 +168,10 @@ func (t MsgType) String() string {
 		return "datagram-request"
 	case MsgDatagramReply:
 		return "datagram-reply"
+	case MsgInterestUpdate:
+		return "interest-update"
+	case MsgCellBatch:
+		return "cell-batch"
 	default:
 		return "unknown"
 	}

@@ -201,13 +201,22 @@ func (r *Renderer) RenderInto(s virtualworld.Snapshot, v virtualworld.Viewport, 
 	}
 }
 
+// ViewHalfWidth and ViewHalfHeight are the fixed viewport half-extents in
+// world units. The interest-management layer (fognet AoI) derives its grid
+// footprint from the same extents, so the subscribed cells always cover
+// what this renderer will draw.
+const (
+	ViewHalfWidth  = 120.0
+	ViewHalfHeight = 90.0
+)
+
 // ViewportFor derives a player's viewport from its avatar position in the
 // snapshot: a fixed-size window centered on the avatar (or the world
 // center when the avatar is absent).
 func ViewportFor(s virtualworld.Snapshot, player int) virtualworld.Viewport {
 	v := virtualworld.Viewport{
 		CenterX: s.Width / 2, CenterY: s.Height / 2,
-		HalfWidth: 120, HalfHeight: 90,
+		HalfWidth: ViewHalfWidth, HalfHeight: ViewHalfHeight,
 	}
 	for _, e := range s.Entities {
 		if e.Kind == virtualworld.KindAvatar && e.Owner == player {

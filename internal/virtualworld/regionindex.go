@@ -1,0 +1,56 @@
+package virtualworld
+
+// RegionIndex accelerates RegionOf's linear scan with the same uniform
+// grid the interest layer uses: each grid cell precomputes the region
+// indices whose rectangles overlap it, so a point lookup probes only the
+// handful of regions sharing its cell. Build once per partition (regions
+// change only on re-partition, not per query); Lookup then matches
+// RegionOf exactly, including the nearest-center fallback for points on
+// the world's max edge.
+type RegionIndex struct {
+	geo     GridGeom
+	regions []Region
+	// cells[c] lists the indices of regions overlapping cell c, ascending.
+	cells [][]int32
+}
+
+// NewRegionIndex builds the lookup structure for a partition of a
+// width×height world.
+func NewRegionIndex(regions []Region, width, height float64) *RegionIndex {
+	geo := Geometry(width, height, DefaultCellSize)
+	idx := &RegionIndex{
+		geo:     geo,
+		regions: append([]Region(nil), regions...),
+		cells:   make([][]int32, geo.NumCells()),
+	}
+	var scratch []uint32
+	for i, r := range regions {
+		// Overlap test is on closed rectangles: a region whose max edge
+		// coincides with a cell's min edge does not cover any of the
+		// cell's points, but including it is harmless (Contains filters),
+		// so the epsilon bookkeeping isn't worth it.
+		scratch = geo.AppendCellsInRect(scratch[:0], r.MinX, r.MinY, r.MaxX, r.MaxY)
+		for _, c := range scratch {
+			idx.cells[c] = append(idx.cells[c], int32(i))
+		}
+	}
+	return idx
+}
+
+// Lookup returns the index of the region containing the point, or the
+// nearest region for the max-edge case — the same answer as
+// RegionOf(regions, x, y), in O(regions-per-cell) instead of O(regions).
+func (ri *RegionIndex) Lookup(x, y float64) int {
+	c := ri.geo.CellOf(x, y)
+	for _, i := range ri.cells[c] {
+		if ri.regions[i].Contains(x, y) {
+			return int(i)
+		}
+	}
+	// Max-edge case (or a point outside every region): defer to the
+	// legacy fallback so the two paths stay answer-identical.
+	return RegionOf(ri.regions, x, y)
+}
+
+// NumRegions returns the number of indexed regions.
+func (ri *RegionIndex) NumRegions() int { return len(ri.regions) }

@@ -9,6 +9,7 @@ import "sort"
 type Replica struct {
 	width, height float64
 	entities      map[EntityID]Entity
+	byOwner       map[int]EntityID
 	tick          uint64
 	applied       int
 	stale         int
@@ -22,7 +23,11 @@ func NewReplica(width, height float64) *Replica {
 	if height <= 0 {
 		height = DefaultHeight
 	}
-	return &Replica{width: width, height: height, entities: make(map[EntityID]Entity)}
+	return &Replica{
+		width: width, height: height,
+		entities: make(map[EntityID]Entity),
+		byOwner:  make(map[int]EntityID),
+	}
 }
 
 // Apply folds one tick's deltas into the replica. Updates older than the
@@ -34,7 +39,7 @@ func (r *Replica) Apply(tick uint64, deltas []Delta) {
 	}
 	for _, d := range deltas {
 		if d.Removed {
-			delete(r.entities, d.ID)
+			r.removeEntity(d.ID)
 			r.applied++
 			continue
 		}
@@ -42,7 +47,78 @@ func (r *Replica) Apply(tick uint64, deltas []Delta) {
 			r.stale++
 			continue
 		}
-		r.entities[d.ID] = d.Entity
+		r.setEntity(d.Entity)
+		r.applied++
+	}
+}
+
+// setEntity stores an entity copy, maintaining the owner index.
+func (r *Replica) setEntity(e Entity) {
+	r.entities[e.ID] = e
+	if e.Kind == KindAvatar && e.Owner >= 0 {
+		r.byOwner[e.Owner] = e.ID
+	}
+}
+
+// removeEntity deletes an entity, maintaining the owner index.
+func (r *Replica) removeEntity(id EntityID) {
+	e, ok := r.entities[id]
+	if !ok {
+		return
+	}
+	delete(r.entities, id)
+	if e.Kind == KindAvatar && e.Owner >= 0 && r.byOwner[e.Owner] == id {
+		delete(r.byOwner, e.Owner)
+	}
+}
+
+// AvatarPos returns the position of a player's avatar in the replica, and
+// whether the replica knows it. This is what a fog derives its interest
+// footprint from: the replica's view of where its attached players are.
+func (r *Replica) AvatarPos(player int) (x, y float64, ok bool) {
+	id, ok := r.byOwner[player]
+	if !ok {
+		return 0, 0, false
+	}
+	e, ok := r.entities[id]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.X, e.Y, true
+}
+
+// ApplyCellKeyframe folds a cell-enter keyframe into the replica: deltas
+// is the complete entity population of cell c (sorted by ID), so any
+// replica entity inside the cell that the keyframe does not mention was
+// removed while the fog was unsubscribed and is deleted here — the rule
+// that makes partial world views converge without per-entity tombstones.
+// The deltas then apply with the usual version staleness check.
+func (r *Replica) ApplyCellKeyframe(tick uint64, geo GridGeom, c uint32, deltas []Delta) {
+	if tick > r.tick {
+		r.tick = tick
+	}
+	for id, e := range r.entities {
+		if geo.CellOf(e.X, e.Y) != c {
+			continue
+		}
+		i := sort.Search(len(deltas), func(i int) bool { return deltas[i].ID >= id })
+		if i < len(deltas) && deltas[i].ID == id {
+			continue
+		}
+		r.removeEntity(id)
+		r.applied++
+	}
+	for _, d := range deltas {
+		if d.Removed {
+			r.removeEntity(d.ID)
+			r.applied++
+			continue
+		}
+		if cur, ok := r.entities[d.ID]; ok && cur.Version >= d.Entity.Version {
+			r.stale++
+			continue
+		}
+		r.setEntity(d.Entity)
 		r.applied++
 	}
 }
@@ -53,10 +129,14 @@ func (r *Replica) Seed(s Snapshot) {
 	r.tick = s.Tick
 	r.width, r.height = s.Width, s.Height
 	r.entities = make(map[EntityID]Entity, len(s.Entities))
+	r.byOwner = make(map[int]EntityID)
 	for _, e := range s.Entities {
-		r.entities[e.ID] = e
+		r.setEntity(e)
 	}
 }
+
+// Size returns the replica's world dimensions.
+func (r *Replica) Size() (width, height float64) { return r.width, r.height }
 
 // Tick returns the latest applied tick.
 func (r *Replica) Tick() uint64 { return r.tick }

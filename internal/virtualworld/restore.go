@@ -36,6 +36,11 @@ func (w *World) SetTick(tick uint64) { w.tick = tick }
 // (which carry complete entity states) into a restored world.
 func (w *World) SetEntity(e Entity) {
 	c := e
+	if old, ok := w.entities[c.ID]; ok {
+		w.grid.Move(c.ID, old.X, old.Y, c.X, c.Y)
+	} else {
+		w.grid.Insert(c.ID, c.X, c.Y)
+	}
 	w.entities[c.ID] = &c
 	if c.Kind == KindAvatar && c.Owner >= 0 {
 		w.byOwner[c.Owner] = c.ID
@@ -51,6 +56,7 @@ func (w *World) RemoveEntity(id EntityID) {
 	if !ok {
 		return
 	}
+	w.grid.Remove(id, e.X, e.Y)
 	delete(w.entities, id)
 	if e.Kind == KindAvatar && e.Owner >= 0 && w.byOwner[e.Owner] == id {
 		delete(w.byOwner, e.Owner)

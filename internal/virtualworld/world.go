@@ -152,6 +152,11 @@ type World struct {
 	byOwner       map[int]EntityID
 	nextID        EntityID
 	tick          uint64
+	// grid is the uniform spatial index over entity positions, maintained
+	// incrementally at every mutation site (spawn, move, despawn, restore)
+	// so interest-managed fan-out never rebuilds it per tick. It is pure
+	// derived state: checkpoints don't carry it, Restore re-derives it.
+	grid *Grid
 }
 
 // New creates an empty world of the given size (non-positive dimensions
@@ -169,8 +174,13 @@ func New(width, height float64) *World {
 		entities: make(map[EntityID]*Entity),
 		byOwner:  make(map[int]EntityID),
 		nextID:   1,
+		grid:     NewGrid(Geometry(width, height, DefaultCellSize)),
 	}
 }
+
+// Grid returns the world's spatial index. Callers must treat it as
+// read-only; it is maintained by the world's own mutation paths.
+func (w *World) Grid() *Grid { return w.grid }
 
 // Size returns the world dimensions.
 func (w *World) Size() (width, height float64) { return w.width, w.height }
@@ -204,6 +214,7 @@ func (w *World) SpawnAvatar(player int, x, y float64) *Entity {
 	w.nextID++
 	w.entities[e.ID] = e
 	w.byOwner[player] = e.ID
+	w.grid.Insert(e.ID, e.X, e.Y)
 	return e
 }
 
@@ -213,6 +224,7 @@ func (w *World) SpawnNPC(x, y float64) *Entity {
 	e := &Entity{ID: w.nextID, Kind: KindNPC, Owner: -1, X: x, Y: y, HP: MaxHP, Version: 1}
 	w.nextID++
 	w.entities[e.ID] = e
+	w.grid.Insert(e.ID, e.X, e.Y)
 	return e
 }
 
@@ -222,12 +234,16 @@ func (w *World) SpawnItem(x, y float64) *Entity {
 	e := &Entity{ID: w.nextID, Kind: KindItem, Owner: -1, X: x, Y: y, Version: 1}
 	w.nextID++
 	w.entities[e.ID] = e
+	w.grid.Insert(e.ID, e.X, e.Y)
 	return e
 }
 
 // RemovePlayer despawns a player's avatar (logout).
 func (w *World) RemovePlayer(player int) {
 	if id, ok := w.byOwner[player]; ok {
+		if e := w.entities[id]; e != nil {
+			w.grid.Remove(id, e.X, e.Y)
+		}
 		delete(w.entities, id)
 		delete(w.byOwner, player)
 	}
@@ -291,6 +307,7 @@ func (w *World) Step(actions []Action) []Delta {
 				changed[actor.ID] = true
 				changed[victim.ID] = true
 				if victim.HP <= 0 && victim.Kind == KindNPC {
+					w.grid.Remove(victim.ID, victim.X, victim.Y)
 					delete(w.entities, victim.ID)
 					removed[victim.ID] = true
 				}
@@ -311,9 +328,11 @@ func (w *World) Step(actions []Action) []Delta {
 	for _, id := range w.sortedOwnedIDs() {
 		e := w.entities[id]
 		if e != nil && e.Kind == KindAvatar && e.HP <= 0 {
+			ox, oy := e.X, e.Y
 			e.HP = MaxHP
 			e.X, e.Y = w.clampPos(8, 8)
 			e.Version++
+			w.grid.Move(e.ID, ox, oy, e.X, e.Y)
 			changed[e.ID] = true
 		}
 	}
@@ -352,10 +371,12 @@ func (w *World) applyMove(actor *Entity, tx, ty float64) bool {
 		return false
 	}
 	step := math.Min(MoveSpeed, dist)
+	ox, oy := actor.X, actor.Y
 	actor.X += dx / dist * step
 	actor.Y += dy / dist * step
 	actor.Facing = math.Atan2(dy, dx)
 	actor.Version++
+	w.grid.Move(actor.ID, ox, oy, actor.X, actor.Y)
 	return true
 }
 
@@ -382,6 +403,7 @@ func (w *World) applyPickUp(actor *Entity, target EntityID) *Entity {
 	if math.Hypot(item.X-actor.X, item.Y-actor.Y) > PickUpRange {
 		return nil
 	}
+	w.grid.Remove(item.ID, item.X, item.Y)
 	delete(w.entities, item.ID)
 	actor.Version++
 	return item
