@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint lint-vet bench bench-json bench-transport-json bench-tick-json chaos
+.PHONY: all build vet test race check lint lint-vet bench bench-json bench-transport-json bench-tick-json bench-sim-json chaos
 
 all: check
 
@@ -89,6 +89,23 @@ bench-tick-json:
 	$(GO) test -bench='$(BENCH_TICK)' -benchmem -benchtime=2000x -run='^$$' \
 		./internal/fognet ./internal/virtualworld \
 		| $(GO) run ./cmd/benchjson -o BENCH_tick.json
+
+# Simulator scale regression file: full seeded deployments at 10k (the
+# paper's PeerSim profile), 100k, and 1M players, sequential vs parallel,
+# converted to BENCH_sim.json. Each row reports playerticks/s (player-
+# subcycle evaluations per wall second) and heapMB/run (the streaming-
+# metrics memory bar — RSS must stay O(1) in players, so the 1M row fits CI
+# memory). The Par/Seq ratio at one scale is the worker-pool speedup; the
+# ≥5× acceptance bar applies on a multi-core runner (on one core the pair
+# measures phasing overhead instead). Override the filter to regenerate a
+# subset, e.g. CI's 10k/100k-only run:
+#   make bench-sim-json BENCH_SIM='BenchmarkSimPlayers10k|BenchmarkSimPlayers100k'
+BENCH_SIM = BenchmarkSimPlayers
+
+bench-sim-json:
+	$(GO) test -bench='$(BENCH_SIM)' -benchmem -benchtime=1x -timeout 60m -run='^$$' \
+		./internal/core \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 chaos:
 	$(GO) run ./examples/chaos

@@ -6,6 +6,12 @@
 //	cloudfogsim -exp fig4a [-scale quick|full] [-profile peersim|planetlab] [-seed N]
 //	cloudfogsim -exp all
 //	cloudfogsim -list
+//
+// The simulator's evaluation loop runs on a worker pool by default
+// (-parallel auto-sizes it by GOMAXPROCS); -parallel=0 forces the legacy
+// sequential ordering for bisection. Seeded outputs are bit-identical
+// either way. -cpuprofile/-memprofile/-trace capture runtime profiles of
+// an experiment run for perf work (see README).
 package main
 
 import (
@@ -13,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 
@@ -98,8 +107,49 @@ func run(args []string) error {
 	profile := fs.String("profile", "peersim", "environment profile: peersim or planetlab")
 	seed := fs.Uint64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list available experiments")
+	parallel := fs.Int("parallel", -1, "eval worker pool size: -1 auto (GOMAXPROCS), 0 legacy sequential ordering, N fixed")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
+	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cloudfogsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudfogsim: memprofile:", err)
+			}
+		}()
 	}
 
 	reg := registry()
@@ -117,6 +167,17 @@ func run(args []string) error {
 	}
 
 	opts := experiments.Options{Seed: *seed}
+	// -parallel speaks the bisection dialect (0 = old sequential ordering,
+	// the ISSUE/ROADMAP convention); core.Config.Workers speaks Go's
+	// (negative = sequential, 0 = GOMAXPROCS). Translate.
+	switch {
+	case *parallel < 0:
+		opts.Workers = 0 // auto-size by GOMAXPROCS
+	case *parallel == 0:
+		opts.Workers = -1 // legacy sequential ordering
+	default:
+		opts.Workers = *parallel
+	}
 	switch *scale {
 	case "quick":
 		opts.Scale = experiments.ScaleQuick

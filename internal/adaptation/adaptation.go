@@ -154,6 +154,16 @@ type Controller struct {
 // NewController creates a controller starting at the given level (clamped
 // to [1, cfg.MaxLevel]).
 func NewController(cfg Config, startLevel game.QualityLevel) *Controller {
+	c := &Controller{}
+	c.Reset(cfg, startLevel)
+	return c
+}
+
+// Reset reinitializes c in place to the state NewController would build,
+// discarding all history. It lets callers keep controllers in a dense value
+// slice (one per player slot) and restart them per session without
+// allocating.
+func (c *Controller) Reset(cfg Config, startLevel game.QualityLevel) {
 	cfg = cfg.withDefaults()
 	if startLevel < 1 {
 		startLevel = 1
@@ -161,7 +171,7 @@ func NewController(cfg Config, startLevel game.QualityLevel) *Controller {
 	if startLevel > cfg.MaxLevel {
 		startLevel = cfg.MaxLevel
 	}
-	return &Controller{cfg: cfg, beta: Beta(), level: startLevel}
+	*c = Controller{cfg: cfg, beta: Beta(), level: startLevel}
 }
 
 // Level returns the current encoding quality level.

@@ -38,6 +38,15 @@ var simulatorPkgs = map[string]bool{
 	// checkpoint encodes/replays the authoritative world: any wall-clock
 	// read or map-order dependence there breaks bit-identical restore.
 	"checkpoint": true,
+	// The parallel tick pipeline (core/parallel.go) rests its bit-identical
+	// guarantee on these: rng supplies the splittable per-shard streams,
+	// stats the order-insensitive accumulator/histogram merges, and
+	// workload/netmodel the hash-keyed per-player draws the concurrent
+	// compute phase is allowed to make.
+	"rng":      true,
+	"stats":    true,
+	"workload": true,
+	"netmodel": true,
 }
 
 // wallClockFuncs are the time package functions that read the wall clock

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"cloudfog/internal/sim"
+	"cloudfog/internal/workload"
+)
+
+// Steady-state allocation regression tests for the per-tick hot paths. The
+// scratch buffers (evalScratch, srvCount/srvTouched, friendGameScratch, the
+// reseedable keyed Rand) exist so that once warm, a subcycle allocates
+// nothing per player; these tests are the gate that keeps it that way.
+
+// TestEvalPhaseSteadyStateAllocs pins the streaming-evaluation loop — the
+// code every player pays every subcycle — at zero allocations per phase
+// once scratch buffers are warm (sequential path; the parallel path spawns
+// its workers per phase by design).
+func TestEvalPhaseSteadyStateAllocs(t *testing.T) {
+	cfg := quickConfig(ModeCloudFog)
+	cfg.Strategies = AllStrategies()
+	cfg.AlwaysOn = true
+	cfg.Workers = -1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sys.rRun.SplitNamed("alloc-test")
+	join := sim.Clock{Cycle: 0, Subcycle: 1}
+	for i, p := range sys.players {
+		sys.ps.session[i] = workload.Session{Start: 1, Duration: 24}
+		sys.join(p, join, false, r)
+	}
+	// Subcycle 3 != any session start, so no co-play records are due and
+	// the phase's shared-state writes are pure accumulator arithmetic.
+	clock := sim.Clock{Cycle: 0, Subcycle: 3}
+	allocs := testing.AllocsPerRun(10, func() {
+		sys.evalPhase(clock, true, r)
+	})
+	if allocs != 0 {
+		t.Errorf("evalPhase allocates %v times per phase in steady state, want 0", allocs)
+	}
+}
+
+// TestAssignStateServerAllocs pins the social server-assignment scan (dense
+// per-server counts + touched list) at zero allocations per join.
+func TestAssignStateServerAllocs(t *testing.T) {
+	cfg := quickConfig(ModeCloudFog)
+	cfg.Strategies = AllStrategies()
+	cfg.AlwaysOn = true
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2, 0) // every player ends up with a sticky server assignment
+	p := sys.players[len(sys.players)/2]
+	r := sys.rRun.SplitNamed("alloc-test")
+	allocs := testing.AllocsPerRun(100, func() {
+		sys.cloud.RemovePlayer(p.ID)
+		sys.assignStateServer(p, r)
+	})
+	if allocs != 0 {
+		t.Errorf("assignStateServer allocates %v times per join in steady state, want 0", allocs)
+	}
+}
+
+// TestSpawnArrivalsAllocs pins churn-mode arrival processing at zero
+// allocations per subcycle: pool draws swap-remove in place and session
+// writes land in the SoA store.
+func TestSpawnArrivalsAllocs(t *testing.T) {
+	cfg := quickConfig(ModeCloudFog)
+	cfg.Arrivals = &workload.ArrivalScript{OffPeakPerMinute: 0.5, PeakPerMinute: 2}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.initArrivalPool()
+	r := sys.rRun.SplitNamed("alloc-test")
+	clock := sim.Clock{Cycle: 0, Subcycle: 12}
+	allocs := testing.AllocsPerRun(50, func() {
+		sys.spawnArrivals(clock, r)
+	})
+	if allocs != 0 {
+		t.Errorf("spawnArrivals allocates %v times per subcycle, want 0", allocs)
+	}
+}

@@ -161,6 +161,14 @@ type Config struct {
 	// diurnal schedule, players join in Poisson bursts at the script's
 	// rates (the Fig. 13–15 experiments).
 	Arrivals *workload.ArrivalScript
+
+	// Workers controls the streaming-evaluation worker pool (parallel.go):
+	// 0 (the default) sizes it by GOMAXPROCS, a positive value is a fixed
+	// pool size, and a negative value forces the legacy single-pass
+	// sequential ordering. Seeded outputs are bit-identical across all
+	// settings — the knob exists for bisection and benchmarking, not
+	// correctness.
+	Workers int
 }
 
 // Default tuning constants.

@@ -77,8 +77,8 @@ func TestWorldConstruction(t *testing.T) {
 		if p.Endpoint == nil {
 			t.Fatal("player without endpoint")
 		}
-		if p.dc < 0 || p.dc >= 5 {
-			t.Fatalf("player dc = %d", p.dc)
+		if dc := sys.ps.dc[p.ID]; dc < 0 || dc >= 5 {
+			t.Fatalf("player dc = %d", dc)
 		}
 	}
 }

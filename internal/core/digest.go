@@ -29,14 +29,15 @@ func (s *System) StateDigest() uint64 {
 			u64(0)
 		}
 	}
-	// Players are stored densely by ID — already canonical.
+	// Player state is stored densely by ID (SoA slices) — already canonical.
 	for _, p := range s.players {
-		i64(p.ID)
-		b(p.online)
-		i64(int(p.src))
-		i64(p.supernode)
-		i64(p.cdnServer)
-		i64(p.dc)
+		i := p.ID
+		i64(i)
+		b(s.ps.online[i])
+		i64(int(s.ps.src[i]))
+		i64(int(s.ps.supernode[i]))
+		i64(int(s.ps.cdnServer[i]))
+		i64(int(s.ps.dc[i]))
 	}
 	// Supernode meta lives in a map; sort the IDs before folding.
 	ids := make([]int, 0, len(s.snMeta))

@@ -53,32 +53,70 @@ type Metrics struct {
 	ActiveSupernodes stats.Accumulator
 	// Modularity accumulates the Γ achieved by assignment runs.
 	Modularity stats.Accumulator
+	// ResponseLatencyHist buckets every measured response-latency sample so
+	// quantiles (P50/P95/P99) are available without retaining raw samples —
+	// memory stays O(buckets), not O(players × subcycles). Created lazily
+	// by ensureHist.
+	ResponseLatencyHist *stats.Histogram
+}
+
+// Response-latency histogram shape: 0.5 ms buckets over [0, 2000) ms.
+// Samples beyond 2 s (the pathological +Inf-latency clamp) land in the last
+// bucket; every realistic response latency resolves to half a millisecond.
+const (
+	respHistMaxMs   = 2000
+	respHistBuckets = 4000
+)
+
+func newResponseHist() *stats.Histogram {
+	return stats.NewHistogram(0, respHistMaxMs, respHistBuckets)
+}
+
+// ensureHist makes the latency histogram usable on a zero-value Metrics.
+func (m *Metrics) ensureHist() {
+	if m.ResponseLatencyHist == nil {
+		m.ResponseLatencyHist = newResponseHist()
+	}
 }
 
 // Snapshot is a compact, copyable summary of a Metrics for reporting.
 type Snapshot struct {
 	MeanResponseLatencyMs float64
-	MeanServerCommMs      float64
-	MeanOtherLatencyMs    float64
-	MeanContinuity        float64
-	SatisfiedFraction     float64
-	MeanCloudEgressMbps   float64
-	MeanPlayerJoinMs      float64
-	MeanMigrationMs       float64
-	MeanSupernodeJoinMs   float64
-	MeanServerAssignMs    float64
-	FogServedFraction     float64
-	MeanQualityLevel      float64
-	MeanOnlinePlayers     float64
-	MeanActiveSupernodes  float64
-	MeanModularity        float64
-	Sessions              int
+	// ResponseLatencyP50Ms/P95Ms/P99Ms are bucket-interpolated quantiles
+	// from ResponseLatencyHist (0.5 ms resolution).
+	ResponseLatencyP50Ms float64
+	ResponseLatencyP95Ms float64
+	ResponseLatencyP99Ms float64
+	MeanServerCommMs     float64
+	MeanOtherLatencyMs   float64
+	MeanContinuity       float64
+	SatisfiedFraction    float64
+	MeanCloudEgressMbps  float64
+	MeanPlayerJoinMs     float64
+	MeanMigrationMs      float64
+	MeanSupernodeJoinMs  float64
+	MeanServerAssignMs   float64
+	FogServedFraction    float64
+	MeanQualityLevel     float64
+	MeanOnlinePlayers    float64
+	MeanActiveSupernodes float64
+	MeanModularity       float64
+	Sessions             int
 }
 
 // Snapshot summarizes the metrics.
 func (m *Metrics) Snapshot() Snapshot {
+	var p50, p95, p99 float64
+	if m.ResponseLatencyHist != nil {
+		p50 = m.ResponseLatencyHist.Percentile(50)
+		p95 = m.ResponseLatencyHist.Percentile(95)
+		p99 = m.ResponseLatencyHist.Percentile(99)
+	}
 	return Snapshot{
 		MeanResponseLatencyMs: m.ResponseLatencyMs.Mean(),
+		ResponseLatencyP50Ms:  p50,
+		ResponseLatencyP95Ms:  p95,
+		ResponseLatencyP99Ms:  p99,
 		MeanServerCommMs:      m.ServerCommMs.Mean(),
 		MeanOtherLatencyMs:    m.ResponseLatencyMs.Mean() - m.ServerCommMs.Mean(),
 		MeanContinuity:        m.Continuity.Mean(),

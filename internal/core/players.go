@@ -1,0 +1,111 @@
+package core
+
+import (
+	"cloudfog/internal/adaptation"
+	"cloudfog/internal/streaming"
+	"cloudfog/internal/workload"
+)
+
+// playerStore keeps the hot per-cycle player state in parallel slices
+// (structure-of-arrays) indexed by the player's dense index. The tick loops
+// touch online/src/session for every player every subcycle; packing those
+// fields contiguously keeps the scans cache-dense instead of chasing one
+// heap object per player, and gives the parallel tick workers plain slices
+// to index without sharing Player structs.
+//
+// A *Player stays the public handle: it carries the cold identity fields
+// (endpoint, behavior, reputation book) plus a back-pointer here, so
+// existing call sites keep working. The invariant throughout the simulator
+// is dense index == Player.ID == player endpoint ID.
+type playerStore struct {
+	// online reports whether the slot's player is in a session.
+	online []bool
+	// src is where the player's video comes from (srcNone when offline).
+	src []sourceKind
+	// supernode is the serving supernode ID when src == srcSupernode.
+	supernode []int32
+	// cdnServer is the serving CDN server index when src == srcCDN.
+	cdnServer []int32
+	// dc is the player's nearest datacenter index (static after build).
+	dc []int32
+	// session is the player's play schedule for the current cycle.
+	session []workload.Session
+	// meter accumulates the current session's streaming quality.
+	meter []streaming.Meter
+	// ctrl is the per-session rate controller, valid while ctrlOn is set.
+	// Controllers are stored by value and Reset per session, so steady-state
+	// session churn allocates nothing.
+	ctrl []adaptation.Controller
+	// ctrlOn marks slots whose controller is live for the current session.
+	ctrlOn []bool
+	// handles maps a dense index back to its Player handle (nil for freed
+	// slots).
+	handles []*Player
+	// free is the LIFO free-list of released dense indices.
+	free []int32
+}
+
+func newPlayerStore(capacity int) *playerStore {
+	return &playerStore{
+		online:    make([]bool, 0, capacity),
+		src:       make([]sourceKind, 0, capacity),
+		supernode: make([]int32, 0, capacity),
+		cdnServer: make([]int32, 0, capacity),
+		dc:        make([]int32, 0, capacity),
+		session:   make([]workload.Session, 0, capacity),
+		meter:     make([]streaming.Meter, 0, capacity),
+		ctrl:      make([]adaptation.Controller, 0, capacity),
+		ctrlOn:    make([]bool, 0, capacity),
+		handles:   make([]*Player, 0, capacity),
+	}
+}
+
+// len returns the number of slots (live + freed).
+func (ps *playerStore) len() int { return len(ps.handles) }
+
+// alloc claims a slot for p, reusing a freed index when one is available,
+// and wires the handle's back-pointer. The returned index is the player's
+// dense identity; callers must keep p.ID equal to it.
+func (ps *playerStore) alloc(p *Player) int {
+	var i int
+	if n := len(ps.free); n > 0 {
+		i = int(ps.free[n-1])
+		ps.free = ps.free[:n-1]
+		ps.online[i] = false
+		ps.src[i] = srcNone
+		ps.supernode[i] = 0
+		ps.cdnServer[i] = 0
+		ps.dc[i] = 0
+		ps.session[i] = workload.Session{}
+		ps.meter[i] = streaming.Meter{}
+		ps.ctrl[i] = adaptation.Controller{}
+		ps.ctrlOn[i] = false
+	} else {
+		i = len(ps.handles)
+		ps.online = append(ps.online, false)
+		ps.src = append(ps.src, srcNone)
+		ps.supernode = append(ps.supernode, 0)
+		ps.cdnServer = append(ps.cdnServer, 0)
+		ps.dc = append(ps.dc, 0)
+		ps.session = append(ps.session, workload.Session{})
+		ps.meter = append(ps.meter, streaming.Meter{})
+		ps.ctrl = append(ps.ctrl, adaptation.Controller{})
+		ps.ctrlOn = append(ps.ctrlOn, false)
+		ps.handles = append(ps.handles, nil)
+	}
+	ps.handles[i] = p
+	p.st = ps
+	return i
+}
+
+// release returns slot i to the free-list. The fixed-population experiment
+// protocol never releases players, but dynamic-population scenarios (and
+// the churn arrival scripts, should they grow true departures) need slots
+// to be recyclable without compacting the arrays — indices are identities.
+func (ps *playerStore) release(i int) {
+	ps.handles[i] = nil
+	ps.online[i] = false
+	ps.src[i] = srcNone
+	ps.ctrlOn[i] = false
+	ps.free = append(ps.free, int32(i))
+}

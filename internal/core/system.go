@@ -92,11 +92,14 @@ func (s *System) beginCycle(cycle int, measured bool) {
 	}
 	// Daily session schedule (population mode only).
 	if s.cfg.Arrivals == nil {
-		for _, p := range s.players {
-			if s.cfg.AlwaysOn {
-				p.session = workload.Session{Start: 1, Duration: workload.SubcyclesPerCycle}
-			} else {
-				p.session = workload.ScheduleDay(p.Behavior, r)
+		if s.cfg.AlwaysOn {
+			allDay := workload.Session{Start: 1, Duration: workload.SubcyclesPerCycle}
+			for i := range s.ps.session {
+				s.ps.session[i] = allDay
+			}
+		} else {
+			for i, p := range s.players {
+				s.ps.session[i] = workload.ScheduleDay(p.Behavior, r)
 			}
 		}
 	}
@@ -118,12 +121,12 @@ func (s *System) stepSubcycle(clock sim.Clock, measured bool) {
 		s.spawnArrivals(clock, r)
 	}
 	// Session transitions.
-	for _, p := range s.players {
-		active := p.session.Active(clock.Subcycle)
+	for i, p := range s.players {
+		active := s.ps.session[i].Active(clock.Subcycle)
 		switch {
-		case active && !p.online:
+		case active && !s.ps.online[i]:
 			s.join(p, clock, measured, r)
-		case !active && p.online:
+		case !active && s.ps.online[i]:
 			s.leave(p, clock, measured)
 		}
 	}
@@ -140,19 +143,10 @@ func (s *System) stepSubcycle(clock sim.Clock, measured bool) {
 			s.fogMgr.Activate(id)
 		}
 	}
-	// Streaming evaluation.
-	online := 0
-	var cloudEgressKbps float64
-	for _, p := range s.players {
-		if !p.online {
-			continue
-		}
-		online++
-		bitrate := s.evaluatePlayer(p, clock, measured, r)
-		if p.src == srcCloud {
-			cloudEgressKbps += bitrate
-		}
-	}
+	// Streaming evaluation: the hot phase. See parallel.go for the worker
+	// pool and the determinism contract that keeps its output bit-identical
+	// to the sequential ordering for any worker count.
+	online, cloudEgressKbps := s.evalPhase(clock, measured, r)
 	if s.fogMgr != nil {
 		active := s.fogMgr.NumActive()
 		cloudEgressKbps += cloudinfra.UpdateBandwidthKbps(active, s.cfg.UpdateKbps)
@@ -178,8 +172,8 @@ func (s *System) endCycle(cycle int, measured bool) {
 	// population would.
 	if s.cfg.AlwaysOn && s.cfg.Arrivals == nil {
 		clock := sim.Clock{Cycle: cycle, Subcycle: workload.SubcyclesPerCycle}
-		for _, p := range s.players {
-			if p.online {
+		for i, p := range s.players {
+			if s.ps.online[i] {
 				s.leave(p, clock, measured)
 			}
 		}
@@ -199,8 +193,8 @@ func (s *System) finalize(cycles int) {
 		cycles = sim.DefaultCycles
 	}
 	clock := sim.Clock{Cycle: cycles - 1, Subcycle: workload.SubcyclesPerCycle}
-	for _, p := range s.players {
-		if p.online {
+	for i, p := range s.players {
+		if s.ps.online[i] {
 			s.leave(p, clock, true)
 		}
 	}
@@ -209,8 +203,9 @@ func (s *System) finalize(cycles int) {
 // ---- joins, leaves, migration ------------------------------------------
 
 func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
-	p.online = true
-	p.sessionMeter = streaming.Meter{}
+	ps := s.ps
+	ps.online[p.ID] = true
+	ps.meter[p.ID] = streaming.Meter{}
 
 	// Friend-driven game choice, with a 20% independent-taste chance so
 	// the catalog never collapses onto a single title by pure cascade.
@@ -218,19 +213,21 @@ func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
 	// game mix evolves identically across compared systems — otherwise
 	// herding noise would dominate cross-system comparisons.
 	rGame := s.decisionRand("game", p.ID, clock.Cycle, clock.Subcycle)
-	var friendGames []int
+	friendGames := s.friendGameScratch[:0]
 	if !rGame.Bool(0.2) {
-		for _, f := range s.onlineFriends(p) {
+		s.seqScratch.friends = s.onlineFriends(p.ID, s.seqScratch.friends)
+		for _, f := range s.seqScratch.friends {
 			friendGames = append(friendGames, s.players[f].Game.ID)
 		}
 	}
 	p.Game = workload.ChooseGame(friendGames, s.games, rGame)
+	s.friendGameScratch = friendGames
 
 	// State-server assignment inside the player's datacenter.
 	s.assignStateServer(p, r)
 
 	// Video source selection.
-	dcEp := s.cloud.Datacenters()[p.dc].Endpoint
+	dcEp := s.cloud.Datacenters()[ps.dc[p.ID]].Endpoint
 	var joinMs float64
 	switch s.cfg.Mode {
 	case ModeCloudFog:
@@ -244,11 +241,11 @@ func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
 		sel := s.selector.Select(p.Endpoint, lmax, p.Book, clock.Day(), r)
 		joinMs = sel.TotalMs()
 		if sel.Supernode != nil {
-			p.src = srcSupernode
-			p.supernode = sel.Supernode.ID
+			ps.src[p.ID] = srcSupernode
+			ps.supernode[p.ID] = int32(sel.Supernode.ID)
 			joinMs += s.model.PathRTTMs(p.Endpoint, sel.Supernode.Endpoint)
 		} else {
-			p.src = srcCloud
+			ps.src[p.ID] = srcCloud
 			joinMs += s.model.PathRTTMs(p.Endpoint, dcEp)
 		}
 	case ModeCDN:
@@ -261,29 +258,30 @@ func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
 		if srv != nil &&
 			s.model.PathRTTMs(p.Endpoint, srv.Endpoint)/2 <= p.Game.LatencyRequirementMs*lMaxFactor &&
 			s.model.PathRTTMs(p.Endpoint, srv.Endpoint) <= s.model.PathRTTMs(p.Endpoint, dcEp) {
-			p.src = srcCDN
-			p.cdnServer = srv.Index
+			ps.src[p.ID] = srcCDN
+			ps.cdnServer[p.ID] = int32(srv.Index)
 			srv.players[p.ID] = struct{}{}
 			joinMs = s.model.PathRTTMs(p.Endpoint, srv.Endpoint) * 2
 		} else {
-			p.src = srcCloud
+			ps.src[p.ID] = srcCloud
 			joinMs = s.model.PathRTTMs(p.Endpoint, dcEp) * 2
 		}
 	default:
-		p.src = srcCloud
+		ps.src[p.ID] = srcCloud
 		joinMs = s.model.PathRTTMs(p.Endpoint, dcEp) * 2
 	}
 
 	// Encoding-rate controller: receiver-driven adaptation is a CloudFog
 	// strategy; the baselines stream at the game's fixed default rate.
 	disabled := !(s.cfg.Mode == ModeCloudFog && s.cfg.Strategies.Adaptation)
-	p.controller = adaptation.NewController(adaptation.Config{
+	ps.ctrl[p.ID].Reset(adaptation.Config{
 		Theta:    s.cfg.Theta,
 		Rho:      p.Game.ToleranceDegree,
 		MaxLevel: p.Game.DefaultQuality,
 		Disabled: disabled,
 		Debounce: s.cfg.AdaptationDebounce,
 	}, p.Game.DefaultQuality)
+	ps.ctrlOn[p.ID] = true
 
 	if measured {
 		s.metrics.PlayerJoinMs.Add(joinMs)
@@ -291,23 +289,26 @@ func (s *System) join(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
 }
 
 func (s *System) leave(p *Player, clock sim.Clock, measured bool) {
-	if !p.online {
+	ps := s.ps
+	if !ps.online[p.ID] {
 		return
 	}
-	if p.src == srcSupernode {
+	src := ps.src[p.ID]
+	meter := &ps.meter[p.ID]
+	if src == srcSupernode {
 		// Rate the supernode with the session's playback continuity.
-		if p.sessionMeter.Observed() {
-			p.Book.Rate(p.supernode, p.sessionMeter.Continuity(), clock.Day())
+		if meter.Observed() {
+			p.Book.Rate(int(ps.supernode[p.ID]), meter.Continuity(), clock.Day())
 		}
-		s.fogMgr.Disconnect(p.ID, p.supernode)
+		s.fogMgr.Disconnect(p.ID, int(ps.supernode[p.ID]))
 	}
-	if p.src == srcCDN {
-		delete(s.cdn[p.cdnServer].players, p.ID)
+	if src == srcCDN {
+		delete(s.cdn[ps.cdnServer[p.ID]].players, p.ID)
 	}
-	if measured && p.sessionMeter.Observed() {
-		cont := p.sessionMeter.Continuity()
+	if measured && meter.Observed() {
+		cont := meter.Continuity()
 		s.metrics.Continuity.Add(cont)
-		if p.src == srcSupernode || p.src == srcCDN {
+		if src == srcSupernode || src == srcCDN {
 			s.metrics.ContinuityFog.Add(cont)
 		} else {
 			s.metrics.ContinuityCloudServed.Add(cont)
@@ -315,18 +316,18 @@ func (s *System) leave(p *Player, clock sim.Clock, measured bool) {
 		if p.Game.ID >= 1 && p.Game.ID < len(s.metrics.ContinuityByGame) {
 			s.metrics.ContinuityByGame[p.Game.ID].Add(cont)
 		}
-		s.metrics.Satisfied.Observe(p.sessionMeter.Satisfied())
-		if p.controller != nil {
-			s.metrics.BitrateSwitches.Add(float64(p.controller.Switches()))
+		s.metrics.Satisfied.Observe(meter.Satisfied())
+		if ps.ctrlOn[p.ID] {
+			s.metrics.BitrateSwitches.Add(float64(ps.ctrl[p.ID].Switches()))
 		}
 	}
-	p.online = false
-	p.src = srcNone
-	p.controller = nil
+	ps.online[p.ID] = false
+	ps.src[p.ID] = srcNone
+	ps.ctrlOn[p.ID] = false
 	// Churn mode: the player returns to the arrival pool for a future
 	// Poisson arrival.
 	if s.cfg.Arrivals != nil {
-		p.session = workload.Session{}
+		ps.session[p.ID] = workload.Session{}
 		s.arrivalPool = append(s.arrivalPool, p.ID)
 	}
 }
@@ -335,28 +336,30 @@ func (s *System) leave(p *Player, clock sim.Clock, measured bool) {
 // the player probes its candidate list for a new supernode and falls back
 // to the cloud (§3.2.2). The paper measures this as migration latency.
 func (s *System) migrate(p *Player, clock sim.Clock, measured bool, r *rng.Rand) {
-	if !p.online {
+	ps := s.ps
+	if !ps.online[p.ID] {
 		return
 	}
-	if p.sessionMeter.Observed() && p.src == srcSupernode {
-		p.Book.Rate(p.supernode, p.sessionMeter.Continuity(), clock.Day())
+	meter := &ps.meter[p.ID]
+	if meter.Observed() && ps.src[p.ID] == srcSupernode {
+		p.Book.Rate(int(ps.supernode[p.ID]), meter.Continuity(), clock.Day())
 	}
 	lmax := p.Game.LatencyRequirementMs * lMaxFactor
-	dcEp := s.cloud.Datacenters()[p.dc].Endpoint
+	dcEp := s.cloud.Datacenters()[ps.dc[p.ID]].Endpoint
 	if dcOneWay := s.model.OneWayMs(p.Endpoint, dcEp); dcOneWay < lmax {
 		lmax = dcOneWay
 	}
 	sel := s.selector.Select(p.Endpoint, lmax, p.Book, clock.Day(), r)
 	var migrationMs float64
 	if sel.Supernode != nil {
-		p.src = srcSupernode
-		p.supernode = sel.Supernode.ID
+		ps.src[p.ID] = srcSupernode
+		ps.supernode[p.ID] = int32(sel.Supernode.ID)
 		// The candidate list is already known; migration pays the delay
 		// tests, capacity probes, and the reconnect round trip. No game
 		// state transfers: the cloud holds it all.
 		migrationMs = sel.PingMs + sel.ProbeMs + s.model.PathRTTMs(p.Endpoint, sel.Supernode.Endpoint)
 	} else {
-		p.src = srcCloud
+		ps.src[p.ID] = srcCloud
 		migrationMs = sel.RequestMs + sel.PingMs + sel.ProbeMs + s.model.PathRTTMs(p.Endpoint, dcEp)
 	}
 	if measured {
@@ -394,7 +397,7 @@ func (s *System) failSupernodeIDs(n int, clock sim.Clock) []int {
 	for _, id := range failed {
 		for _, playerID := range s.fogMgr.Deactivate(id) {
 			p := s.playerByEndpointID(playerID)
-			if p != nil && p.online {
+			if p != nil && s.ps.online[p.ID] {
 				s.migrate(p, clock, true, r)
 			}
 		}
@@ -418,9 +421,8 @@ func (s *System) spawnArrivals(clock sim.Clock, r *rng.Rand) {
 		id := s.arrivalPool[idx]
 		s.arrivalPool[idx] = s.arrivalPool[len(s.arrivalPool)-1]
 		s.arrivalPool = s.arrivalPool[:len(s.arrivalPool)-1]
-		p := s.players[id]
 		dur := 1 + r.Intn(3)
-		p.session = workload.Session{Start: clock.Subcycle, Duration: dur}
+		s.ps.session[id] = workload.Session{Start: clock.Subcycle, Duration: dur}
 	}
 }
 
@@ -430,22 +432,36 @@ func (s *System) assignStateServer(p *Player, r *rng.Rand) {
 	if s.cloud.ServerOf(p.ID) != nil {
 		return // sticky assignment (weekly reassignment may move it)
 	}
-	dc := s.cloud.Datacenters()[p.dc]
+	dc := s.cloud.Datacenters()[s.ps.dc[p.ID]]
 	if s.cfg.Strategies.SocialAssignment {
 		// Join the server hosting most of the player's friends (any
-		// datacenter; game state can live anywhere).
-		counts := make(map[int]int)
-		for _, f := range s.graph.Friends(p.ID) {
-			if srv := s.cloud.ServerOf(f); srv != nil {
-				counts[srv.ID]++
+		// datacenter; game state can live anywhere). Counts accumulate in a
+		// dense per-server scratch slice — server IDs are contiguous from 0
+		// — with a touched-list so clearing costs O(friends), not
+		// O(servers), and the whole scan allocates nothing.
+		if len(s.srvCount) < s.cloud.NumServers() {
+			s.srvCount = make([]int32, s.cloud.NumServers())
+		}
+		touched := s.srvTouched[:0]
+		for _, f := range s.friends[p.ID] {
+			if srv := s.cloud.ServerOf(int(f)); srv != nil {
+				if s.srvCount[srv.ID] == 0 {
+					touched = append(touched, int32(srv.ID))
+				}
+				s.srvCount[srv.ID]++
 			}
 		}
-		bestID, bestN := -1, 0
-		for id, n := range counts {
-			if n > bestN || (n == bestN && id < bestID) {
-				bestID, bestN = id, n
+		// Winner: highest friend count, smallest server ID on ties — the
+		// same result the historical map scan converged to.
+		bestID, bestN := -1, int32(0)
+		for _, id := range touched {
+			n := s.srvCount[id]
+			if n > bestN || (n == bestN && int(id) < bestID) {
+				bestID, bestN = int(id), n
 			}
+			s.srvCount[id] = 0
 		}
+		s.srvTouched = touched
 		if bestID >= 0 {
 			if err := s.cloud.AssignPlayerToServer(p.ID, bestID); err == nil {
 				return
@@ -545,8 +561,8 @@ func (s *System) fleetUtilization() float64 {
 
 func (s *System) provisionStep(clock sim.Clock, measured bool, r *rng.Rand) {
 	online := 0
-	for _, p := range s.players {
-		if p.online {
+	for _, on := range s.ps.online {
+		if on {
 			online++
 		}
 	}
@@ -628,26 +644,35 @@ func (s *System) applyFixedPool(cycle int, measured bool) {
 
 // ---- streaming evaluation -------------------------------------------------
 
-// evaluatePlayer computes the player's delivery quality for one subcycle,
-// drives the adaptation controller, updates meters, and returns the
-// bitrate streamed (for egress accounting).
-func (s *System) evaluatePlayer(p *Player, clock sim.Clock, measured bool, r *rng.Rand) float64 {
-	link, _ := s.linkFor(p, clock)
-	commMs := s.interactionCommMs(p, clock)
+// computeEval evaluates player i's delivery quality for one subcycle and
+// fills out. It mutates only player-i state (rate controller, session
+// meter) plus the worker-local scratch, and draws randomness only from
+// hash-keyed decision streams (decisionRand, CongestionFactor) or the
+// per-shard stream r — never from shared generators — so shards can run
+// concurrently without changing any seeded output. Shared-state effects
+// (metric accumulation, co-play recording, egress sums) are described in
+// out and applied later by applyEval in canonical player order.
+func (s *System) computeEval(i int, clock sim.Clock, measured bool, r *rng.Rand, sc *evalScratch, out *evalResult) {
+	_ = r // reserved: eval-phase randomness is currently all hash-keyed
+	ps := s.ps
+	p := s.players[i]
+	link, _ := s.linkForR(p, clock, sc.ensureKeyed())
+	commMs, partner, record := s.interactionCommMs(p, clock, sc)
 
 	// Let the rate controller settle against this subcycle's conditions.
-	if p.controller != nil && s.cfg.Mode == ModeCloudFog && s.cfg.Strategies.Adaptation {
+	ctrl := &ps.ctrl[i]
+	if ps.ctrlOn[i] && s.cfg.Mode == ModeCloudFog && s.cfg.Strategies.Adaptation {
 		base := float64(clock.AbsoluteSubcycle()) * 3600
 		for k := 0; k < adaptationStepsPerSubcycle; k++ {
-			delivered := streaming.DeliveredKbps(link, p.controller.BitrateKbps())
-			p.controller.Observe(base+float64(k+1)*adaptationStepSec, delivered)
+			delivered := streaming.DeliveredKbps(link, ctrl.BitrateKbps())
+			ctrl.Observe(base+float64(k+1)*adaptationStepSec, delivered)
 		}
 	}
 	bitrate := p.Game.Quality().BitrateKbps
 	level := p.Game.DefaultQuality
-	if p.controller != nil {
-		bitrate = p.controller.BitrateKbps()
-		level = p.controller.Level()
+	if ps.ctrlOn[i] {
+		bitrate = ctrl.BitrateKbps()
+		level = ctrl.Level()
 	}
 
 	// The response loop of a packet is action upload (one-way to the
@@ -663,41 +688,81 @@ func (s *System) evaluatePlayer(p *Player, clock sim.Clock, measured bool, r *rn
 	if math.IsInf(respMs, 1) {
 		respMs = 10 * p.Game.LatencyRequirementMs
 	}
-	p.sessionMeter.Observe(1, pOn, respMs)
+	ps.meter[i].Observe(1, pOn, respMs)
 
 	if measured {
-		s.metrics.ResponseLatencyMs.Add(respMs)
-		s.metrics.ServerCommMs.Add(commMs)
-		s.metrics.QualityLevel.Add(float64(level))
-		s.metrics.FogServed.Observe(p.src == srcSupernode)
+		// Quantiles come from per-worker scratch histograms: bucket counts
+		// are integers, so the post-phase merge is exact in any order.
+		sc.ensureHist()
+		sc.respHist.Add(respMs)
 	}
-	return bitrate
+
+	*out = evalResult{
+		bitrate:       bitrate,
+		respMs:        respMs,
+		commMs:        commMs,
+		level:         level,
+		fogServed:     ps.src[i] == srcSupernode,
+		cloud:         ps.src[i] == srcCloud,
+		coplayPartner: partner,
+		coplayRecord:  record,
+	}
+}
+
+// applyEval commits player i's eval result to shared state: co-play
+// recording and the float metric accumulators. Callers invoke it in
+// ascending player index — the canonical schedule — so the sequence of
+// floating-point Adds is identical whether the compute phase ran on one
+// goroutine or many.
+func (s *System) applyEval(i int, clock sim.Clock, measured bool, res *evalResult) {
+	if res.coplayRecord {
+		s.coplay.Record(i, int(res.coplayPartner), clock.Cycle)
+	}
+	if measured {
+		s.metrics.ResponseLatencyMs.Add(res.respMs)
+		s.metrics.ServerCommMs.Add(res.commMs)
+		s.metrics.QualityLevel.Add(float64(res.level))
+		s.metrics.FogServed.Observe(res.fogServed)
+	}
 }
 
 // linkFor builds the delivery link of the player's current video source and
 // returns it with the one-way action latency to the renderer.
 func (s *System) linkFor(p *Player, clock sim.Clock) (streaming.Link, float64) {
-	var srcEp = s.cloud.Datacenters()[p.dc].Endpoint
+	return s.linkForR(p, clock, nil)
+}
+
+// linkForR is linkFor with a caller-supplied scratch Rand for the keyed
+// congestion draw (nil falls back to an allocating draw — same value).
+func (s *System) linkForR(p *Player, clock sim.Clock, kr *rng.Rand) (streaming.Link, float64) {
+	ps := s.ps
+	var srcEp = s.cloud.Datacenters()[ps.dc[p.ID]].Endpoint
 	perStream := s.cfg.ServerStreamKbps
-	switch p.src {
+	switch ps.src[p.ID] {
 	case srcSupernode:
-		sn := s.fogMgr.Get(p.supernode)
+		sn := s.fogMgr.Get(int(ps.supernode[p.ID]))
 		srcEp = sn.Endpoint
 		perStream = sn.PerStreamKbps()
 	case srcCDN:
-		srv := s.cdn[p.cdnServer]
+		srv := s.cdn[ps.cdnServer[p.ID]]
 		srcEp = srv.Endpoint
 		perStream = srv.Endpoint.UploadKbps / float64(max(1, len(srv.players)))
 		if perStream > s.cfg.ServerStreamKbps {
 			perStream = s.cfg.ServerStreamKbps
 		}
 	}
-	oneway := s.model.OneWayMs(srcEp, p.Endpoint)
+	var oneway, cong float64
+	if kr != nil {
+		oneway = s.model.OneWayMsR(kr, srcEp, p.Endpoint)
+		cong = s.model.CongestionFactorR(kr, p.ID, clock.Cycle, clock.Subcycle)
+	} else {
+		oneway = s.model.OneWayMs(srcEp, p.Endpoint)
+		cong = s.model.CongestionFactor(p.ID, clock.Cycle, clock.Subcycle)
+	}
 	dist := geo.Distance(srcEp.Loc, p.Endpoint.Loc)
 	pathCap := p.Endpoint.DownloadKbps *
 		(1 - s.cfg.WideAreaBWPenalty*math.Min(1, dist/wideAreaFullPenaltyKm))
-	eff := math.Min(perStream, pathCap) *
-		s.model.CongestionFactor(p.ID, clock.Cycle, clock.Subcycle)
+	eff := math.Min(perStream, pathCap) * cong
 	return streaming.Link{
 		OneWayMs:      oneway,
 		EffectiveKbps: eff,
@@ -708,51 +773,53 @@ func (s *System) linkFor(p *Player, clock sim.Clock) (streaming.Link, float64) {
 // interactionCommMs returns the server-communication component of the
 // response latency: the player interacts with a random online friend; if
 // their game state lives on different servers, the servers must exchange
-// state (§3.4). Interactions also feed the co-play record that infers
-// implicit friendships for the weekly reassignment.
-func (s *System) interactionCommMs(p *Player, clock sim.Clock) float64 {
-	friends := s.onlineFriends(p)
+// state (§3.4). When the interaction should feed the co-play record that
+// infers implicit friendships for the weekly reassignment, it reports the
+// partner and record=true; the caller commits the record via applyEval so
+// the shared recorder sees one canonical write order.
+func (s *System) interactionCommMs(p *Player, clock sim.Clock, sc *evalScratch) (ms float64, partner int32, record bool) {
+	sc.friends = s.onlineFriends(p.ID, sc.friends)
+	friends := sc.friends
 	if len(friends) == 0 {
-		return cloudinfra.IntraServerCommMs
+		return cloudinfra.IntraServerCommMs, -1, false
 	}
-	rPartner := s.decisionRand("partner", p.ID, clock.Cycle, clock.Subcycle)
-	partner := s.players[friends[rPartner.Intn(len(friends))]]
-	if s.cfg.Strategies.SocialAssignment && clock.Subcycle == p.session.Start {
+	rPartner := sc.ensureKeyed()
+	rPartner.Reseed(s.decisionKey("partner", p.ID, clock.Cycle, clock.Subcycle))
+	partner = friends[rPartner.Intn(len(friends))]
+	if s.cfg.Strategies.SocialAssignment && clock.Subcycle == s.ps.session[p.ID].Start {
 		// One co-play record per pair per session keeps the window compact.
-		s.coplay.Record(p.ID, partner.ID, clock.Cycle)
+		record = true
 	}
+	partnerP := s.players[partner]
 	if s.cfg.Mode == ModeCDN {
-		return s.cdnCommMs(p, partner)
+		return s.cdnPairCommMs(p, partnerP, rPartner), partner, record
 	}
 	// Cloud-computed state (Cloud and CloudFog): interacting players whose
 	// game state lives on the same server exchange state in memory; pairs
 	// on different servers pay a server-to-server synchronization round.
-	if s.cloud.SameServer(p.ID, partner.ID) {
-		return cloudinfra.IntraServerCommMs
+	if s.cloud.SameServer(p.ID, partnerP.ID) {
+		return cloudinfra.IntraServerCommMs, partner, record
 	}
-	return cloudinfra.CrossServerCommMs
-}
-
-// cdnCommMs models EdgeCloud's cooperation penalty: CDN servers each
-// compute state for their own players, so interacting players on different
-// edge servers force a wide-area state exchange between them; and every
-// edge server must additionally keep its slice of the shared virtual world
-// coherent with the authoritative datacenter ("the servers need to
-// cooperate with each other to compute new game status, which leads to
-// relatively long latency").
-func (s *System) cdnCommMs(p, partner *Player) float64 {
-	return s.cdnPairCommMs(p, partner)
+	return cloudinfra.CrossServerCommMs, partner, record
 }
 
 // cdnCoordinationFactor discounts the wide-area leg of a cross-edge-server
 // state exchange: the exchange is pipelined with gameplay, so only a
-// fraction of the one-way latency lands on the response path.
+// fraction of the one-way latency lands on the response path. CDN servers
+// each compute state for their own players, so interacting players on
+// different edge servers force a wide-area state exchange between them
+// ("the servers need to cooperate with each other to compute new game
+// status, which leads to relatively long latency").
 const cdnCoordinationFactor = 0.1
 
-func (s *System) cdnPairCommMs(p, partner *Player) float64 {
+// cdnPairCommMs computes the CDN-mode state-exchange cost. kr is scratch
+// for the keyed wide-area latency draws (reseeded per use; the partner
+// selection that preceded it is already complete).
+func (s *System) cdnPairCommMs(p, partner *Player, kr *rng.Rand) float64 {
+	ps := s.ps
 	hostOf := func(q *Player) *cdnServer {
-		if q.src == srcCDN {
-			return s.cdn[q.cdnServer]
+		if ps.src[q.ID] == srcCDN {
+			return s.cdn[ps.cdnServer[q.ID]]
 		}
 		return nil
 	}
@@ -761,7 +828,7 @@ func (s *System) cdnPairCommMs(p, partner *Player) float64 {
 	case ha != nil && hb != nil && ha == hb:
 		return cloudinfra.IntraServerCommMs
 	case ha != nil && hb != nil:
-		return cdnCoordinationFactor*s.model.OneWayMs(ha.Endpoint, hb.Endpoint) +
+		return cdnCoordinationFactor*s.model.OneWayMsR(kr, ha.Endpoint, hb.Endpoint) +
 			cloudinfra.CrossServerCommMs
 	case ha == nil && hb == nil:
 		// Both players spilled to the cloud: ordinary cloud-server comm.
@@ -772,13 +839,13 @@ func (s *System) cdnPairCommMs(p, partner *Player) float64 {
 	default:
 		// One on an edge server, one on the cloud.
 		var edge *cdnServer
-		var dc int
+		var dc int32
 		if ha != nil {
-			edge, dc = ha, partner.dc
+			edge, dc = ha, ps.dc[partner.ID]
 		} else {
-			edge, dc = hb, p.dc
+			edge, dc = hb, ps.dc[p.ID]
 		}
-		return cdnCoordinationFactor*s.model.OneWayMs(edge.Endpoint, s.cloud.Datacenters()[dc].Endpoint) +
+		return cdnCoordinationFactor*s.model.OneWayMsR(kr, edge.Endpoint, s.cloud.Datacenters()[dc].Endpoint) +
 			cloudinfra.CrossServerCommMs
 	}
 }
@@ -787,6 +854,12 @@ func (s *System) cdnPairCommMs(p, partner *Player) float64 {
 // keyed by purpose, player, and time — independent of how much randomness
 // other subsystems consumed, so compared systems make identical draws.
 func (s *System) decisionRand(purpose string, playerID, cycle, subcycle int) *rng.Rand {
+	return rng.New(s.decisionKey(purpose, playerID, cycle, subcycle))
+}
+
+// decisionKey is the hash behind decisionRand; hot loops reseed a scratch
+// Rand with it (rng.Reseed) instead of allocating a fresh one per decision.
+func (s *System) decisionKey(purpose string, playerID, cycle, subcycle int) uint64 {
 	h := s.cfg.Seed
 	for _, c := range []byte(purpose) {
 		h = (h ^ uint64(c)) * 0x100000001b3
@@ -794,5 +867,5 @@ func (s *System) decisionRand(purpose string, playerID, cycle, subcycle int) *rn
 	h = (h ^ uint64(playerID)) * 0x100000001b3
 	h = (h ^ uint64(cycle)) * 0x100000001b3
 	h = (h ^ uint64(subcycle)) * 0x100000001b3
-	return rng.New(h)
+	return h
 }

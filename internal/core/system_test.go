@@ -67,12 +67,12 @@ func TestLinkForSupernodeVsCloud(t *testing.T) {
 	r := sys.rRun.SplitNamed("test")
 	var fogP, cloudP *Player
 	for _, p := range sys.players {
-		p.session.Start, p.session.Duration = 1, 24
+		sys.ps.session[p.ID] = workload.Session{Start: 1, Duration: 24}
 		sys.join(p, clock, false, r)
-		if p.src == srcSupernode && fogP == nil {
+		if sys.ps.src[p.ID] == srcSupernode && fogP == nil {
 			fogP = p
 		}
-		if p.src == srcCloud && cloudP == nil {
+		if sys.ps.src[p.ID] == srcCloud && cloudP == nil {
 			cloudP = p
 		}
 		if fogP != nil && cloudP != nil {
@@ -130,7 +130,7 @@ func TestChurnPoolConservation(t *testing.T) {
 	// leaks out of the churn cycle.
 	online := 0
 	for _, p := range sys.players {
-		if p.online {
+		if p.Online() {
 			online++
 		}
 	}

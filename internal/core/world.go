@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"cloudfog/internal/adaptation"
 	"cloudfog/internal/cloudinfra"
 	"cloudfog/internal/fog"
 	"cloudfog/internal/game"
@@ -15,12 +14,11 @@ import (
 	"cloudfog/internal/rng"
 	"cloudfog/internal/selection"
 	"cloudfog/internal/social"
-	"cloudfog/internal/streaming"
 	"cloudfog/internal/workload"
 )
 
 // sourceKind describes where a player's game video comes from.
-type sourceKind int
+type sourceKind uint8
 
 const (
 	srcNone sourceKind = iota
@@ -29,9 +27,12 @@ const (
 	srcCDN
 )
 
-// Player is one end user of the simulated system.
+// Player is one end user of the simulated system. It is a thin handle: the
+// identity fields below are stable for the player's lifetime, while the hot
+// per-cycle state (online flag, video source, session schedule, meters)
+// lives in the System's playerStore slices at index ID.
 type Player struct {
-	// ID is the player's index in [0, Players).
+	// ID is the player's dense index in [0, Players).
 	ID int
 	// Endpoint is the player's network attachment.
 	Endpoint *netmodel.Endpoint
@@ -42,22 +43,12 @@ type Player struct {
 	// Book is the player's private reputation ledger.
 	Book *reputation.Book
 
-	online     bool
-	session    workload.Session
-	src        sourceKind
-	supernode  int // supernode ID when src == srcSupernode
-	cdnServer  int // CDN server index when src == srcCDN
-	dc         int // nearest datacenter index
-	controller *adaptation.Controller
-
-	sessionMeter streaming.Meter
-	meter        streaming.Meter // lifetime, measured window only
-	satisfiedObs int
-	satisfiedHit int
+	// st points back to the store holding this player's per-cycle state.
+	st *playerStore
 }
 
 // Online reports whether the player is currently in a session.
-func (p *Player) Online() bool { return p.online }
+func (p *Player) Online() bool { return p.st.online[p.ID] }
 
 // cdnServer is an EdgeCloud-style edge server: state + render + stream.
 type cdnServer struct {
@@ -87,7 +78,13 @@ type System struct {
 	games []game.Game
 
 	players []*Player
-	graph   *social.Graph
+	// ps holds the hot per-cycle player state (see playerStore).
+	ps    *playerStore
+	graph *social.Graph
+	// friends[i] is player i's friend list, sorted ascending — precomputed
+	// once from the immutable graph so the per-subcycle interaction scan
+	// neither allocates nor re-sorts.
+	friends [][]int32
 
 	cloud      *cloudinfra.Cloud
 	fogMgr     *fog.Manager
@@ -106,6 +103,27 @@ type System struct {
 
 	// churn-mode state (arrival-script experiments)
 	arrivalPool []int // offline player IDs available to join
+
+	// shards partitions player indices by region for the parallel tick
+	// workers (see parallel.go). Built once: regions are static.
+	shards [][]int32
+	// evalResults is the per-player result buffer of the parallel eval
+	// phase, reused every subcycle.
+	evalResults []evalResult
+	// seqScratch is the eval scratch of the sequential path and of the
+	// control-plane phases (join), which always run single-threaded.
+	seqScratch evalScratch
+	// workerScratch holds one evalScratch per parallel worker.
+	workerScratch []evalScratch
+	// shardRands buffers the per-shard streams derived each subcycle.
+	shardRands []*rng.Rand
+
+	// assignment scratch (see assignStateServer): per-server friend counts
+	// and the touched-server list, reused across joins at zero allocations.
+	srvCount   []int32
+	srvTouched []int32
+	// friendGameScratch collects online friends' game IDs during join.
+	friendGameScratch []int
 }
 
 // NewSystem builds a deployment from cfg. Construction is deterministic in
@@ -159,17 +177,21 @@ func (s *System) buildWorld() error {
 	rBehavior := s.rBuild.SplitNamed("behavior")
 
 	// Players.
+	s.ps = newPlayerStore(cfg.Players)
 	s.players = make([]*Player, cfg.Players)
 	for i := 0; i < cfg.Players; i++ {
 		ep := netmodel.NewPlayerEndpoint(idAlloc(), placer.PlacePlayer(rPlace), rNet)
-		s.players[i] = &Player{
+		p := &Player{
 			ID:       i,
 			Endpoint: ep,
 			Behavior: workload.SampleBehavior(rBehavior),
 			Book:     reputation.NewBook(cfg.Lambda),
 			Game:     s.games[rBehavior.Intn(len(s.games))],
-			src:      srcNone,
 		}
+		if idx := s.ps.alloc(p); idx != i {
+			return fmt.Errorf("player store allocated index %d for player %d", idx, i)
+		}
+		s.players[i] = p
 	}
 
 	// Social graph: power-law friends (skew 1.5) planted over guilds.
@@ -177,6 +199,18 @@ func (s *System) buildWorld() error {
 		N:    cfg.Players,
 		Skew: 1.5,
 	}, s.rBuild.SplitNamed("social"))
+	// The graph is immutable after Generate: freeze each player's friend
+	// list, sorted, so the hot interaction path never allocates or sorts.
+	s.friends = make([][]int32, cfg.Players)
+	for i := 0; i < cfg.Players; i++ {
+		fs := s.graph.Friends(i)
+		out := make([]int32, len(fs))
+		for j, f := range fs {
+			out[j] = int32(f)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		s.friends[i] = out
+	}
 	// Implicit friendships: co-play within the recent week (§3.4).
 	s.coplay = social.NewCoPlayRecorder(0, 0)
 
@@ -187,8 +221,9 @@ func (s *System) buildWorld() error {
 	}
 	s.cloud = cloud
 	for _, p := range s.players {
-		p.dc = s.cloud.NearestDatacenter(p.Endpoint.Loc).ID
+		s.ps.dc[p.ID] = int32(s.cloud.NearestDatacenter(p.Endpoint.Loc).ID)
 	}
+	s.buildShards()
 
 	switch cfg.Mode {
 	case ModeCloudFog:
@@ -293,14 +328,15 @@ func (s *System) nearestCDNWithCapacity(loc geo.Point) *cdnServer {
 	return best
 }
 
-// onlineFriends returns the online friends of player p, sorted by ID.
-func (s *System) onlineFriends(p *Player) []int {
-	var out []int
-	for _, f := range s.graph.Friends(p.ID) {
-		if s.players[f].online {
-			out = append(out, f)
+// onlineFriends appends player id's currently-online friends to buf (which
+// it first truncates) and returns it. The result is ascending by ID — the
+// precomputed friends list is sorted and filtering preserves order.
+func (s *System) onlineFriends(id int, buf []int32) []int32 {
+	buf = buf[:0]
+	for _, f := range s.friends[id] {
+		if s.ps.online[f] {
+			buf = append(buf, f)
 		}
 	}
-	sort.Ints(out)
-	return out
+	return buf
 }

@@ -61,6 +61,12 @@ type Options struct {
 	Profile Profile
 	// Seed drives all randomness. Defaults to 1.
 	Seed uint64
+	// Workers forwards to core.Config.Workers: 0 (the default) sizes the
+	// streaming-evaluation worker pool by GOMAXPROCS, a positive value is a
+	// fixed pool, and a negative value forces the legacy sequential
+	// ordering. Seeded figure outputs are bit-identical across all
+	// settings (see the core equivalence tests).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +92,7 @@ func (o Options) baseConfig() (cfg core.Config, cycles, warmup int) {
 		cfg = core.PeerSim()
 	}
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 	if o.Scale == ScaleFull {
 		return cfg, 28, 21
 	}

@@ -99,6 +99,10 @@ func (s *Supernode) PerStreamKbps() float64 {
 type Manager struct {
 	model      *netmodel.Model
 	supernodes map[int]*Supernode
+	// ordered mirrors the registry as a slice sorted by ID: the scan-heavy
+	// paths (candidate discovery on every join, active counts) iterate it
+	// instead of the map, which is both faster and order-deterministic.
+	ordered []*Supernode
 	// CandidateListSize is how many physically-close supernodes the cloud
 	// returns to a joining player.
 	CandidateListSize int
@@ -116,26 +120,37 @@ func NewManager(model *netmodel.Model) *Manager {
 	}
 }
 
-// Register adds a supernode to the registry.
-func (m *Manager) Register(s *Supernode) { m.supernodes[s.ID] = s }
+// Register adds a supernode to the registry, replacing any previous entry
+// with the same ID.
+func (m *Manager) Register(s *Supernode) {
+	if _, exists := m.supernodes[s.ID]; exists {
+		for i, o := range m.ordered {
+			if o.ID == s.ID {
+				m.ordered[i] = s
+				break
+			}
+		}
+	} else {
+		i := sort.Search(len(m.ordered), func(k int) bool { return m.ordered[k].ID >= s.ID })
+		m.ordered = append(m.ordered, nil)
+		copy(m.ordered[i+1:], m.ordered[i:])
+		m.ordered[i] = s
+	}
+	m.supernodes[s.ID] = s
+}
 
 // Get returns the supernode with the given ID, or nil.
 func (m *Manager) Get(id int) *Supernode { return m.supernodes[id] }
 
 // All returns all registered supernodes, active or not, sorted by ID.
 func (m *Manager) All() []*Supernode {
-	out := make([]*Supernode, 0, len(m.supernodes))
-	for _, s := range m.supernodes {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append([]*Supernode(nil), m.ordered...)
 }
 
 // NumActive returns how many supernodes are currently deployed.
 func (m *Manager) NumActive() int {
 	n := 0
-	for _, s := range m.supernodes {
+	for _, s := range m.ordered {
 		if s.Active {
 			n++
 		}
@@ -185,29 +200,46 @@ func (m *Manager) Disconnect(playerID, supernodeID int) {
 // available capacity, physically closest to the given location — the
 // cloud's answer to a joining player's request (§3.2.1).
 func (m *Manager) CandidatesFor(loc geo.Point) []*Supernode {
+	// Bounded top-k selection instead of a full sort: the candidate list is
+	// tiny (k = CandidateListSize) while the supernode pool is not, and this
+	// runs on every join. `top` is kept sorted by (distance, ID) — the same
+	// total order the full sort used — so the result is identical and, being
+	// unique under that order, independent of map iteration order.
 	type cand struct {
 		s *Supernode
 		d float64
 	}
-	cands := make([]cand, 0, len(m.supernodes))
-	for _, s := range m.supernodes {
-		if s.Available() > 0 {
-			cands = append(cands, cand{s: s, d: geo.Distance(loc, s.Endpoint.Loc)})
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
-		}
-		return cands[i].s.ID < cands[j].s.ID
-	})
 	k := m.CandidateListSize
-	if k > len(cands) {
-		k = len(cands)
+	if k <= 0 {
+		return nil
 	}
-	out := make([]*Supernode, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].s
+	top := make([]cand, 0, k)
+	for _, s := range m.ordered {
+		if s.Available() <= 0 {
+			continue
+		}
+		d := geo.Distance(loc, s.Endpoint.Loc)
+		if len(top) == k {
+			last := top[k-1]
+			if d > last.d || (d == last.d && s.ID > last.s.ID) {
+				continue
+			}
+		}
+		i := len(top)
+		if i < k {
+			top = top[:i+1]
+		} else {
+			i = k - 1
+		}
+		for i > 0 && (d < top[i-1].d || (d == top[i-1].d && s.ID < top[i-1].s.ID)) {
+			top[i] = top[i-1]
+			i--
+		}
+		top[i] = cand{s: s, d: d}
+	}
+	out := make([]*Supernode, len(top))
+	for i, c := range top {
+		out[i] = c.s
 	}
 	return out
 }

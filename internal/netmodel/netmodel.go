@@ -133,6 +133,12 @@ func (m *Model) Params() Params { return m.params }
 
 // pairRand returns a deterministic RNG for an unordered endpoint pair.
 func (m *Model) pairRand(a, b int) *rng.Rand {
+	return rng.New(m.pairKey(a, b))
+}
+
+// pairKey is the hash behind pairRand; the scratch-Rand variants reseed
+// with it instead of allocating.
+func (m *Model) pairKey(a, b int) uint64 {
 	lo, hi := a, b
 	if lo > hi {
 		lo, hi = hi, lo
@@ -140,7 +146,7 @@ func (m *Model) pairRand(a, b int) *rng.Rand {
 	h := m.seed
 	h = (h ^ uint64(lo)) * 0x100000001b3
 	h = (h ^ uint64(hi)) * 0x100000001b3
-	return rng.New(h)
+	return h
 }
 
 // PathRTTMs returns the round-trip network latency between two endpoints in
@@ -148,11 +154,18 @@ func (m *Model) pairRand(a, b int) *rng.Rand {
 // trace-sampled jitter term scaled by distance. The value is deterministic
 // for a given pair within one model.
 func (m *Model) PathRTTMs(a, b *Endpoint) float64 {
+	return m.PathRTTMsR(m.pairRand(a.ID, b.ID), a, b)
+}
+
+// PathRTTMsR is PathRTTMs drawing from the caller's scratch Rand (reseeded
+// in place) — identical values, no allocation.
+func (m *Model) PathRTTMsR(r *rng.Rand, a, b *Endpoint) float64 {
+	r.Reseed(m.pairKey(a.ID, b.ID))
 	dist := geo.Distance(a.Loc, b.Loc)
 	prop := m.params.PropagationMsPerKm * dist
 	scale := m.params.JitterScaleMinimum +
 		(1-m.params.JitterScaleMinimum)*math.Min(1, dist/m.params.JitterFullDistanceKm)
-	jitter := m.params.Trace.Sample(m.pairRand(a.ID, b.ID)) * scale
+	jitter := m.params.Trace.Sample(r) * scale
 	return a.AccessRTTMs + b.AccessRTTMs + prop + jitter
 }
 
@@ -162,13 +175,34 @@ func (m *Model) OneWayMs(a, b *Endpoint) float64 {
 	return m.PathRTTMs(a, b) / 2
 }
 
+// OneWayMsR is OneWayMs drawing from the caller's scratch Rand.
+func (m *Model) OneWayMsR(r *rng.Rand, a, b *Endpoint) float64 {
+	return m.PathRTTMsR(r, a, b) / 2
+}
+
 // CongestionFactor returns the effective-bandwidth multiplier for the link
 // identified by linkID during the given subcycle: 1.0 normally, mildly
 // degraded at random, and sharply degraded during a congestion dip. The
 // value is deterministic per (link, subcycle).
 func (m *Model) CongestionFactor(linkID, cycle, subcycle int) float64 {
-	r := rng.New(m.seed ^ (uint64(linkID)*0x9e3779b97f4a7c15 +
-		uint64(cycle)*0x85ebca77c2b2ae63 + uint64(subcycle)*0xc2b2ae3d27d4eb4f))
+	return m.congestionDraw(rng.New(m.congestionKey(linkID, cycle, subcycle)))
+}
+
+// CongestionFactorR computes the same value as CongestionFactor but draws
+// from the caller's scratch Rand, reseeded in place — the allocation-free
+// path for hot loops that evaluate one link per player-tick. The scratch
+// must not be shared across goroutines.
+func (m *Model) CongestionFactorR(r *rng.Rand, linkID, cycle, subcycle int) float64 {
+	r.Reseed(m.congestionKey(linkID, cycle, subcycle))
+	return m.congestionDraw(r)
+}
+
+func (m *Model) congestionKey(linkID, cycle, subcycle int) uint64 {
+	return m.seed ^ (uint64(linkID)*0x9e3779b97f4a7c15 +
+		uint64(cycle)*0x85ebca77c2b2ae63 + uint64(subcycle)*0xc2b2ae3d27d4eb4f)
+}
+
+func (m *Model) congestionDraw(r *rng.Rand) float64 {
 	if r.Bool(m.params.CongestionDipProbability) {
 		return m.params.CongestionDipFactor
 	}

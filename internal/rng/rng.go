@@ -27,14 +27,61 @@ type Rand struct {
 	splits uint64
 }
 
+// splitmixSource is a SplitMix64 generator exposed as a rand.Source64.
+//
+// It replaced math/rand's default lagged-Fibonacci source when profiling
+// showed the simulator spending ~65% of its CPU inside rngSource.Seed: the
+// hot loops derive a fresh keyed stream per (player, tick) decision (see
+// core.decisionRand and netmodel.CongestionFactor), and the stock source
+// pays a 607-entry seed expansion plus a ~5 KB allocation per derivation.
+// SplitMix64 seeds in O(1), carries 8 bytes of state, and advances exactly
+// one step per draw — which also makes checkpoint restore O(1): the state
+// after n draws is seed + n·gamma (see state.go).
+//
+// The distribution helpers still go through math/rand.Rand, so Intn,
+// NormFloat64, ExpFloat64, Perm, and Shuffle keep their stock algorithms;
+// only the raw 64-bit stream underneath changed.
+type splitmixSource struct {
+	s uint64
+}
+
+// gamma is the SplitMix64 state increment (the golden-ratio constant).
+const gamma = 0x9e3779b97f4a7c15
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.s += gamma
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmixSource) Seed(seed int64) { s.s = uint64(seed) }
+
 // New returns a Rand seeded with seed.
 func New(seed uint64) *Rand {
-	cnt := &countingSource{src: rand.NewSource(int64(mix(seed)))}
+	cnt := &countingSource{src: splitmixSource{s: mix(seed)}}
 	return &Rand{
 		src:  rand.New(cnt),
 		cnt:  cnt,
 		seed: seed,
 	}
+}
+
+// Reseed resets r in place to exactly the state New(seed) returns, without
+// allocating. Hot loops that derive a fresh keyed stream per item (one per
+// player-tick decision) reuse one scratch Rand through Reseed instead of
+// paying rng.New's three allocations each time. The subsequent draw sequence
+// is identical to a fresh Rand's: math/rand.Rand keeps no per-instance
+// distribution state (the ziggurat tables are global, and the Read buffer is
+// untouched because the simulator never calls Read).
+func (r *Rand) Reseed(seed uint64) {
+	r.cnt.src.s = mix(seed)
+	r.cnt.draws = 0
+	r.seed = seed
+	r.splits = 0
 }
 
 // Split derives a new, statistically independent Rand from r. Successive

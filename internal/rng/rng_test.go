@@ -49,6 +49,112 @@ func TestSplitIndependentAndDeterministic(t *testing.T) {
 	}
 }
 
+// TestSplitSiblingsUncorrelated bounds the sample correlation between two
+// sibling Split streams. The parallel tick workers each draw from their own
+// shard stream, and determinism plus statistical validity both rest on the
+// siblings behaving as independent generators.
+func TestSplitSiblingsUncorrelated(t *testing.T) {
+	parent := New(123)
+	a := parent.Split()
+	b := parent.Split()
+	const n = 20000
+	var sumA, sumB, sumAA, sumBB, sumAB float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sumA += x
+		sumB += y
+		sumAA += x * x
+		sumBB += y * y
+		sumAB += x * y
+	}
+	meanA, meanB := sumA/n, sumB/n
+	cov := sumAB/n - meanA*meanB
+	varA := sumAA/n - meanA*meanA
+	varB := sumBB/n - meanB*meanB
+	corr := cov / math.Sqrt(varA*varB)
+	// For truly independent uniforms the sample correlation is
+	// ~Normal(0, 1/sqrt(n)) ≈ 0.007; 0.05 is a 7-sigma bound.
+	if math.Abs(corr) > 0.05 {
+		t.Fatalf("sibling Split streams correlate: r=%v over %d samples", corr, n)
+	}
+}
+
+// TestSplitNamedSiblingsUncorrelated applies the same bound to two named
+// child streams, which subsystems (workload vs. network vs. churn) rely on
+// for cross-subsystem independence from one master seed.
+func TestSplitNamedSiblingsUncorrelated(t *testing.T) {
+	parent := New(123)
+	a := parent.SplitNamed("workload")
+	b := parent.SplitNamed("network")
+	const n = 20000
+	var sumA, sumB, sumAA, sumBB, sumAB float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sumA += x
+		sumB += y
+		sumAA += x * x
+		sumBB += y * y
+		sumAB += x * y
+	}
+	meanA, meanB := sumA/n, sumB/n
+	cov := sumAB/n - meanA*meanB
+	varA := sumAA/n - meanA*meanA
+	varB := sumBB/n - meanB*meanB
+	corr := cov / math.Sqrt(varA*varB)
+	if math.Abs(corr) > 0.05 {
+		t.Fatalf("named sibling streams correlate: r=%v over %d samples", corr, n)
+	}
+}
+
+// TestSplitNamedOrderIndependent documents the splitting-order contract:
+// SplitNamed is keyed only by (parent seed, name), so the order in which
+// named children are derived — or how many Split children were taken in
+// between — cannot change a named child's stream. Parallel shard setup
+// depends on this: workers may derive their streams in any order.
+func TestSplitNamedOrderIndependent(t *testing.T) {
+	a := New(77)
+	ax := a.SplitNamed("x")
+	_ = a.Split()
+	ay := a.SplitNamed("y")
+
+	b := New(77)
+	by := b.SplitNamed("y")
+	bx := b.SplitNamed("x")
+
+	for i := 0; i < 50; i++ {
+		if got, want := bx.Float64(), ax.Float64(); got != want {
+			t.Fatalf("SplitNamed(\"x\") depends on derivation order: %v != %v", got, want)
+		}
+		if got, want := by.Float64(), ay.Float64(); got != want {
+			t.Fatalf("SplitNamed(\"y\") depends on derivation order: %v != %v", got, want)
+		}
+	}
+}
+
+// TestSplitOrderContract documents the Split contract: the k-th Split child
+// of a given seed is a fixed stream, regardless of draws taken from the
+// parent in between.
+func TestSplitOrderContract(t *testing.T) {
+	a := New(5)
+	a1, a2 := a.Split(), a.Split()
+
+	b := New(5)
+	b1 := b.Split()
+	for i := 0; i < 100; i++ {
+		b.Float64() // parent draws must not shift the split sequence
+	}
+	b2 := b.Split()
+
+	for i := 0; i < 50; i++ {
+		if got, want := b1.Float64(), a1.Float64(); got != want {
+			t.Fatalf("first Split child not a pure function of (seed, index): %v != %v", got, want)
+		}
+		if got, want := b2.Float64(), a2.Float64(); got != want {
+			t.Fatalf("second Split child shifted by parent draws: %v != %v", got, want)
+		}
+	}
+}
+
 func TestSplitNamedStable(t *testing.T) {
 	a := New(9).SplitNamed("workload")
 	b := New(9).SplitNamed("workload")
@@ -295,5 +401,37 @@ func TestPermAndShuffle(t *testing.T) {
 	}
 	if sum != 15 {
 		t.Errorf("Shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestReseedMatchesFresh(t *testing.T) {
+	// Reseed must put a used Rand into exactly the state New would produce:
+	// this is what lets hot loops reuse one scratch generator for per-item
+	// keyed streams without changing any seeded output.
+	scratch := New(1)
+	scratch.Float64()
+	scratch.NormFloat64()
+	scratch.Split()
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		fresh := New(seed)
+		scratch.Reseed(seed)
+		for i := 0; i < 8; i++ {
+			if a, b := fresh.Float64(), scratch.Float64(); a != b {
+				t.Fatalf("seed %d draw %d: fresh %v, reseeded %v", seed, i, a, b)
+			}
+		}
+		if a, b := fresh.NormFloat64(), scratch.NormFloat64(); a != b {
+			t.Fatalf("seed %d: NormFloat64 fresh %v, reseeded %v", seed, a, b)
+		}
+		if a, b := fresh.Intn(1000), scratch.Intn(1000); a != b {
+			t.Fatalf("seed %d: Intn fresh %v, reseeded %v", seed, a, b)
+		}
+		// Checkpoint state and child-stream derivation reset too.
+		if fresh.State() != scratch.State() {
+			t.Fatalf("seed %d: state fresh %+v, reseeded %+v", seed, fresh.State(), scratch.State())
+		}
+		if a, b := fresh.Split().Float64(), scratch.Split().Float64(); a != b {
+			t.Fatalf("seed %d: Split child fresh %v, reseeded %v", seed, a, b)
+		}
 	}
 }

@@ -1,20 +1,23 @@
 package rng
 
-import "math/rand"
-
-// countingSource feeds a Rand while tallying every raw 63-bit draw taken
-// from the underlying source. The tally is the only extra state needed to
+// countingSource feeds a Rand while tallying every raw draw taken from the
+// underlying SplitMix64 source. The tally is the only extra state needed to
 // checkpoint a stream: a Rand is fully determined by (seed, splits, draws),
-// and restoring means re-seeding and discarding the same number of draws.
+// and because SplitMix64 advances its 8-byte state by a fixed increment per
+// draw, restoring is a single O(1) jump rather than a replay.
 //
-// countingSource deliberately implements only rand.Source (not Source64):
-// math/rand then composes Uint64 from two Int63 calls, which is exactly
-// how the wrapped rngSource implements Uint64 itself, so the output stream
-// is bit-identical to wrapping the source directly — and every state
-// advance funnels through Int63 where it is counted exactly once.
+// countingSource implements rand.Source64: math/rand.Rand then takes every
+// 64-bit draw through Uint64 and every 63-bit draw through Int63, and both
+// advance the underlying state by exactly one step, so `draws` equals the
+// number of state steps taken — the quantity the restore jump needs.
 type countingSource struct {
-	src   rand.Source
+	src   splitmixSource
 	draws uint64
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
 }
 
 func (c *countingSource) Int63() int64 {
@@ -29,15 +32,13 @@ func (c *countingSource) Seed(seed int64) {
 
 // State is a serializable snapshot of a Rand's stream position. It is
 // deliberately tiny — three words — rather than the generator's internal
-// vector: restore cost is O(draws), which is fine for the control-plane
-// streams that get checkpointed (a cloud ladder ranking draws a handful of
-// samples per failover, not per tick).
+// vector: a Rand is a pure function of (seed, splits, draws).
 type State struct {
 	// Seed is the construction seed.
 	Seed uint64
 	// Splits is how many child streams have been derived.
 	Splits uint64
-	// Draws is how many raw 63-bit samples have been consumed.
+	// Draws is how many raw samples have been consumed.
 	Draws uint64
 }
 
@@ -48,12 +49,12 @@ func (r *Rand) State() State {
 
 // Restore reconstructs a Rand at the exact stream position captured by st:
 // the next sample drawn equals the next sample the captured Rand would
-// have drawn, for every distribution helper.
+// have drawn, for every distribution helper. The SplitMix64 state after n
+// draws is mix(seed) + n·gamma, so restore is O(1) in the draw count.
 func Restore(st State) *Rand {
 	r := New(st.Seed)
 	r.splits = st.Splits
-	for i := uint64(0); i < st.Draws; i++ {
-		r.cnt.Int63()
-	}
+	r.cnt.src.s += st.Draws * gamma
+	r.cnt.draws = st.Draws
 	return r
 }

@@ -7,11 +7,11 @@ import (
 
 // TestCountingSourcePreservesOutput pins that the draw-counting wrapper
 // does not perturb the stream: a Rand must produce exactly the sequence of
-// a bare math/rand generator over the same mixed seed, across every helper
-// (including Uint64-composing ones like Shuffle and Perm).
+// a bare math/rand generator over the same SplitMix64 source, across every
+// helper (including Uint64-composing ones like Shuffle and Perm).
 func TestCountingSourcePreservesOutput(t *testing.T) {
 	r := New(42)
-	ref := rand.New(rand.NewSource(int64(mix(42))))
+	ref := rand.New(&splitmixSource{s: mix(42)})
 	for i := 0; i < 200; i++ {
 		switch i % 5 {
 		case 0:

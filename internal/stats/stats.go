@@ -255,6 +255,72 @@ func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
 // NumBuckets returns the number of buckets.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
+// Percentile returns the p-th percentile (p in [0, 100]) estimated from the
+// bucket counts by linear interpolation inside the bucket containing the
+// target rank. It returns 0 when no samples were recorded. Resolution is
+// bounded by the bucket width; samples clamped into the edge buckets are
+// attributed to those buckets' ranges.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// Target rank in [0, n-1], matching Percentile's closest-ranks method.
+	rank := p / 100 * float64(h.n-1)
+	var below int
+	for i, b := range h.buckets {
+		if b == 0 {
+			continue
+		}
+		// Ranks below+0 .. below+b-1 fall inside bucket i.
+		if rank < float64(below+b) {
+			frac := (rank - float64(below) + 0.5) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		below += b
+	}
+	return h.hi
+}
+
+// Merge folds another histogram's counts into h. Both histograms must share
+// the same shape (range and bucket count); Merge panics otherwise, since a
+// silent mis-merge would corrupt every downstream quantile. Bucket counts
+// are integers, so merging is exact and order-insensitive: per-worker
+// scratch histograms merged in any order equal one sequentially-filled
+// histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.lo != o.lo || h.hi != o.hi || len(h.buckets) != len(o.buckets) {
+		panic(fmt.Sprintf("stats: merging mismatched histograms: %v vs %v", h, o))
+	}
+	for i, b := range o.buckets {
+		h.buckets[i] += b
+	}
+	h.n += o.n
+}
+
+// Reset clears all counts, keeping the bucket shape. It lets per-worker
+// scratch histograms be reused across ticks without reallocation.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.n = 0
+}
+
 // CDFAt returns the empirical CDF evaluated at x.
 func (h *Histogram) CDFAt(x float64) float64 {
 	if h.n == 0 {

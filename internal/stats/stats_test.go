@@ -241,3 +241,110 @@ func TestHistogramString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestHistogramPercentile(t *testing.T) {
+	// 10000 uniform samples over [0, 100) with 1-unit buckets: percentile
+	// estimates must land within one bucket width of the exact quantile.
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	for _, p := range []float64{1, 25, 50, 75, 95, 99} {
+		got := h.Percentile(p)
+		if diff := got - p; diff < -1 || diff > 1 {
+			t.Errorf("Percentile(%v) = %v, want within 1 of %v", p, got, p)
+		}
+	}
+	if got := h.Percentile(0); got < 0 || got > 1 {
+		t.Errorf("Percentile(0) = %v, want in first bucket", got)
+	}
+	if got := h.Percentile(100); got < 99 || got > 100 {
+		t.Errorf("Percentile(100) = %v, want in last bucket", got)
+	}
+	var empty *Histogram = NewHistogram(0, 1, 4)
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty Percentile = %v, want 0", got)
+	}
+}
+
+func TestHistogramPercentileMatchesSliceAtScale(t *testing.T) {
+	// Cross-check the bucketed estimator against the exact slice-based
+	// Percentile on a skewed sample set.
+	xs := make([]float64, 0, 5000)
+	h := NewHistogram(0, 2000, 4000) // 0.5-wide buckets
+	for i := 0; i < 5000; i++ {
+		v := float64(i*i%1999) + 0.25
+		xs = append(xs, v)
+		h.Add(v)
+	}
+	for _, p := range []float64{50, 95, 99} {
+		exact := Percentile(xs, p)
+		got := h.Percentile(p)
+		if diff := got - exact; diff < -1 || diff > 1 {
+			t.Errorf("P%v: histogram %v vs exact %v (diff %v)", p, got, exact, diff)
+		}
+	}
+}
+
+func TestHistogramMergeOrderInsensitive(t *testing.T) {
+	// Partition a sample stream three ways; merging the parts in any order
+	// must reproduce the sequentially-filled histogram exactly. This is the
+	// property the parallel tick workers rely on.
+	seqH := NewHistogram(0, 50, 25)
+	parts := []*Histogram{
+		NewHistogram(0, 50, 25),
+		NewHistogram(0, 50, 25),
+		NewHistogram(0, 50, 25),
+	}
+	for i := 0; i < 999; i++ {
+		v := float64(i*7%53) - 1 // includes out-of-range values
+		seqH.Add(v)
+		parts[i%3].Add(v)
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		m := NewHistogram(0, 50, 25)
+		for _, idx := range order {
+			m.Merge(parts[idx])
+		}
+		if m.N() != seqH.N() {
+			t.Fatalf("order %v: N = %d, want %d", order, m.N(), seqH.N())
+		}
+		for b := 0; b < seqH.NumBuckets(); b++ {
+			if m.Bucket(b) != seqH.Bucket(b) {
+				t.Fatalf("order %v: bucket %d = %d, want %d", order, b, m.Bucket(b), seqH.Bucket(b))
+			}
+		}
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched histograms did not panic")
+		}
+	}()
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 20, 5)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 7; i++ {
+		h.Add(float64(i))
+	}
+	h.Reset()
+	if h.N() != 0 {
+		t.Fatalf("N after Reset = %d", h.N())
+	}
+	for b := 0; b < h.NumBuckets(); b++ {
+		if h.Bucket(b) != 0 {
+			t.Fatalf("bucket %d nonzero after Reset", b)
+		}
+	}
+	h.Add(2.5)
+	if h.N() != 1 || h.Bucket(1) != 1 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
