@@ -10,12 +10,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis gate: the five custom cloudfoglint analyzers (pooledbuf,
-# conndeadline, guardedby, deterministic, noretain — see DESIGN.md §11)
-# over the whole module, plus gofmt. govulncheck runs when installed and is
+# Static-analysis gate: the eight custom cloudfoglint analyzers (DESIGN.md
+# §11 and §16) over the whole module with module-wide facts, checked
+# against the committed shrink-only baseline and emitting lint.sarif for
+# code-scanning UIs; plus gofmt. govulncheck runs when installed and is
 # skipped otherwise (the container has no network to fetch it).
 lint:
-	$(GO) run ./cmd/cloudfoglint ./...
+	$(GO) run ./cmd/cloudfoglint -sarif lint.sarif -baseline lint-baseline.json ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -24,9 +25,14 @@ lint:
 		echo "govulncheck not installed; skipping"; fi
 
 # Same analyzers driven through the go command's vet-tool protocol, which
-# caches per-package results in the build cache.
-lint-vet:
-	$(GO) build -o bin/cloudfoglint ./cmd/cloudfoglint
+# caches per-package results in the build cache. The binary in bin/ is
+# itself cached: it rebuilds only when the linter's sources change.
+LINT_SRC := $(wildcard cmd/cloudfoglint/*.go internal/analysis/*.go internal/analysis/*/*.go) go.mod
+
+bin/cloudfoglint: $(LINT_SRC)
+	$(GO) build -o $@ ./cmd/cloudfoglint
+
+lint-vet: bin/cloudfoglint
 	$(GO) vet -vettool=$(CURDIR)/bin/cloudfoglint ./...
 
 test:
@@ -40,7 +46,7 @@ test:
 race:
 	$(GO) test -race -timeout 60m ./...
 
-check: build vet test race
+check: build vet lint test race
 
 # Micro-benchmarks for the shared §3.2 selection engine and its consumers
 # (one iteration each: a smoke check, not a measurement run). The root

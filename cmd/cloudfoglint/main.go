@@ -1,23 +1,34 @@
 // Command cloudfoglint is the repo's invariant checker: a multichecker
-// over the five custom analyzers in internal/analysis (pooledbuf,
-// conndeadline, guardedby, deterministic, noretain). It runs two ways:
+// over the custom analyzers registered in internal/analysis/checkers —
+// the five syntactic ones (pooledbuf, conndeadline, guardedby,
+// deterministic, noretain) plus the fact-driven interprocedural ones
+// (phasepure, allocfree, epochstamp). It runs two ways:
 //
-// Standalone, over package patterns (the make lint entry point):
+// Standalone, over package patterns (the make lint entry point) — this
+// is the authoritative mode: facts span the whole module, and unused
+// //lint:ignore directives are reported:
 //
 //	go run ./cmd/cloudfoglint ./...
+//	go run ./cmd/cloudfoglint -sarif lint.sarif ./...
+//	go run ./cmd/cloudfoglint -baseline lint-baseline.json ./...
+//	go run ./cmd/cloudfoglint -write-baseline lint-baseline.json ./...
 //
 // As a vet tool, one compiled package at a time, driven by the go
-// command's JSON cfg protocol:
+// command's JSON cfg protocol (facts are package-local here, so the
+// interprocedural analyzers see only intra-package edges):
 //
 //	go vet -vettool=$(pwd)/bin/cloudfoglint ./...
 //
 // Both modes print file:line:col: message (analyzer) diagnostics and
-// exit non-zero when any survive. Suppress a diagnostic by annotating
-// the offending line (or the line above) with
+// exit non-zero when any survive. Against a baseline, new findings fail
+// and so do stale baseline entries — the baseline only shrinks.
+// Suppress a diagnostic by annotating the offending line (or the line
+// above) with
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// See DESIGN.md §11 for the invariants and the suppression policy.
+// See DESIGN.md §11 for the original invariants and the suppression
+// policy, §16 for the fact engine, directives, and baseline workflow.
 package main
 
 import (
@@ -57,6 +68,9 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and exit")
+	sarifPath := flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline; new or stale findings fail")
+	writeBaselinePath := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -73,11 +87,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
 		os.Exit(1)
 	}
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", analysis.Shared().Fset.Position(d.Pos), d.Message, d.Analyzer)
+		pos := analysis.Shared().Fset.Position(d.Pos)
+		findings = append(findings, finding{
+			Analyzer: d.Analyzer,
+			File:     relPath(pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cloudfoglint: %d invariant violation(s)\n", len(diags))
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, findings, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfoglint: writing SARIF:", err)
+			os.Exit(1)
+		}
+	}
+	if *writeBaselinePath != "" {
+		if err := writeBaseline(*writeBaselinePath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfoglint: writing baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cloudfoglint: recorded %d finding(s) to %s\n", len(findings), *writeBaselinePath)
+		return
+	}
+	var stale []baselineEntry
+	if *baselinePath != "" {
+		bf, err := readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloudfoglint:", err)
+			os.Exit(1)
+		}
+		findings, stale = applyBaseline(findings, bf)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	for _, e := range stale {
+		fmt.Printf("%s: stale baseline entry: %q (%s) no longer fires ×%d; remove it from %s\n",
+			e.File, e.Message, e.Analyzer, e.Count, *baselinePath)
+	}
+	if len(findings)+len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "cloudfoglint: %d invariant violation(s), %d stale baseline entr(ies)\n", len(findings), len(stale))
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cloudfog/internal/analysis"
+)
+
+// finding is one diagnostic resolved to a position: the unit the SARIF
+// emitter and the baseline ratchet both work over.
+type finding struct {
+	Analyzer string
+	File     string // module-relative, forward slashes
+	Line     int
+	Col      int
+	Message  string
+}
+
+// relPath rewrites an absolute position path relative to the working
+// directory so baselines and SARIF survive checkouts at different roots.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err == nil {
+		if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// --- baseline ratchet -------------------------------------------------
+
+// baselineFile is the committed lint-baseline.json schema. Entries are
+// keyed (analyzer, file, message) with an occurrence count — deliberately
+// line-insensitive, so moving code around a file does not churn the
+// baseline while new findings still surface.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e baselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+func (f finding) key() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d (want 1)", path, bf.Version)
+	}
+	return &bf, nil
+}
+
+// makeBaseline folds findings into sorted baseline entries.
+func makeBaseline(findings []finding) *baselineFile {
+	counts := map[string]*baselineEntry{}
+	for _, f := range findings {
+		k := f.key()
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &baselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message, Count: 1}
+	}
+	bf := &baselineFile{Version: 1, Findings: []baselineEntry{}}
+	for _, e := range counts {
+		bf.Findings = append(bf.Findings, *e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return bf
+}
+
+func writeBaseline(path string, findings []finding) error {
+	data, err := json.MarshalIndent(makeBaseline(findings), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// applyBaseline splits findings into (new, stale): findings beyond an
+// entry's count are new and fail the run; entries whose count exceeds
+// what actually fired are stale and also fail — the baseline only
+// shrinks, it never pads. Baselined findings in order of appearance are
+// the suppressed ones.
+func applyBaseline(findings []finding, bf *baselineFile) (fresh []finding, stale []baselineEntry) {
+	budget := map[string]int{}
+	for _, e := range bf.Findings {
+		budget[e.key()] += e.Count
+	}
+	for _, f := range findings {
+		k := f.key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range bf.Findings {
+		if left := budget[e.key()]; left > 0 {
+			e.Count = left
+			stale = append(stale, e)
+			budget[e.key()] = 0
+		}
+	}
+	return fresh, stale
+}
+
+// --- SARIF ------------------------------------------------------------
+
+// SARIF 2.1.0, the minimal subset code-scanning UIs ingest: one run, one
+// driver, a rule per analyzer, a result per finding with a physical
+// location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifReport renders every finding (baselined or not — the dashboard
+// sees the whole picture; the exit code enforces the ratchet).
+func sarifReport(findings []finding, azs []*analysis.Analyzer) *sarifLog {
+	rules := make([]sarifRule, 0, len(azs)+1)
+	for _, a := range azs {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "unusedignore",
+		ShortDescription: sarifMessage{Text: "//lint:ignore directives must suppress a live diagnostic"},
+	})
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	return &sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "cloudfoglint", Rules: rules}}, Results: results}},
+	}
+}
+
+func writeSARIF(path string, findings []finding, azs []*analysis.Analyzer) error {
+	data, err := json.MarshalIndent(sarifReport(findings, azs), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudfog/internal/analysis"
+)
+
+func sampleFindings() []finding {
+	return []finding{
+		{Analyzer: "allocfree", File: "internal/core/system.go", Line: 40, Col: 3, Message: "allocation on zero-alloc path"},
+		{Analyzer: "allocfree", File: "internal/core/system.go", Line: 55, Col: 7, Message: "allocation on zero-alloc path"},
+		{Analyzer: "epochstamp", File: "internal/fognet/fog.go", Line: 12, Col: 2, Message: "literal leaves stamp field(s) Tick unset"},
+	}
+}
+
+func TestMakeBaselineFoldsAndSorts(t *testing.T) {
+	bf := makeBaseline(sampleFindings())
+	if bf.Version != 1 {
+		t.Fatalf("version = %d, want 1", bf.Version)
+	}
+	if len(bf.Findings) != 2 {
+		t.Fatalf("entries = %d, want 2 (same-message findings fold into one count)", len(bf.Findings))
+	}
+	if e := bf.Findings[0]; e.File != "internal/core/system.go" || e.Count != 2 {
+		t.Errorf("first entry = %+v, want system.go ×2 (sorted by file, counted)", e)
+	}
+	if e := bf.Findings[1]; e.Analyzer != "epochstamp" || e.Count != 1 {
+		t.Errorf("second entry = %+v, want epochstamp ×1", e)
+	}
+}
+
+func TestApplyBaselineSuppressesExact(t *testing.T) {
+	findings := sampleFindings()
+	fresh, stale := applyBaseline(findings, makeBaseline(findings))
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("fresh=%d stale=%d against own baseline, want 0/0", len(fresh), len(stale))
+	}
+}
+
+func TestApplyBaselineNewFindingFails(t *testing.T) {
+	bf := makeBaseline(sampleFindings()[:1]) // only one allocfree occurrence baselined
+	fresh, stale := applyBaseline(sampleFindings(), bf)
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %d, want 2 (second allocfree occurrence + epochstamp are new)", len(fresh))
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %d, want 0", len(stale))
+	}
+	// The baseline is line-insensitive: the suppressed occurrence is the
+	// first in report order, so the surviving allocfree finding is line 55.
+	if fresh[0].Line != 55 {
+		t.Errorf("surviving allocfree finding at line %d, want 55", fresh[0].Line)
+	}
+}
+
+func TestApplyBaselineStaleEntryFails(t *testing.T) {
+	bf := makeBaseline(sampleFindings())
+	fresh, stale := applyBaseline(sampleFindings()[:1], bf) // epochstamp fixed, one allocfree fixed
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %d, want 0", len(fresh))
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %d, want 2 (shrink-only: fixed findings must leave the baseline)", len(stale))
+	}
+	for _, e := range stale {
+		if e.Count != 1 {
+			t.Errorf("stale entry %s count = %d, want 1 remaining", e.Analyzer, e.Count)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaseline(path, sampleFindings()); err != nil {
+		t.Fatalf("writeBaseline: %v", err)
+	}
+	bf, err := readBaseline(path)
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	fresh, stale := applyBaseline(sampleFindings(), bf)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round-trip mismatch: fresh=%d stale=%d", len(fresh), len(stale))
+	}
+}
+
+func TestReadBaselineRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	os.WriteFile(path, []byte(`{"version":9,"findings":[]}`), 0o666)
+	if _, err := readBaseline(path); err == nil {
+		t.Fatal("version 9 accepted, want error")
+	}
+}
+
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	bf, err := readBaseline(filepath.Join("..", "..", "lint-baseline.json"))
+	if err != nil {
+		t.Fatalf("committed lint-baseline.json: %v", err)
+	}
+	if len(bf.Findings) != 0 {
+		t.Errorf("committed baseline carries %d finding(s); the tree is supposed to be clean — fix or //lint:ignore instead of baselining", len(bf.Findings))
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	azs := []*analysis.Analyzer{{Name: "allocfree", Doc: "no allocs"}, {Name: "epochstamp", Doc: "stamped"}}
+	log := sarifReport(sampleFindings(), azs)
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 / 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "cloudfoglint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the unusedignore audit rule.
+	if len(run.Tool.Driver.Rules) != 3 {
+		t.Errorf("rules = %d, want 3", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "allocfree" || r.Level != "error" {
+		t.Errorf("result 0 = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/system.go" || loc.Region.StartLine != 40 {
+		t.Errorf("location = %+v", loc)
+	}
+	// The document must survive a marshal round-trip as plain JSON.
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded["$schema"] == "" {
+		t.Error("missing $schema")
+	}
+}
+
+func TestSARIFEmptyResultsIsValid(t *testing.T) {
+	log := sarifReport(nil, nil)
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded sarifLog
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Runs[0].Results == nil {
+		t.Error("results must marshal as [], not null (SARIF consumers reject null)")
+	}
+}

@@ -1,0 +1,76 @@
+// Package allocfree turns the repo's runtime AllocsPerRun gates into
+// compile-time diagnostics with precise positions (DESIGN.md §16).
+//
+// A function annotated //cfg:allocfree declares the PR 3/8/9 contract:
+// zero heap allocations per call in steady state. The analyzer walks the
+// fact call graph from each annotated root and reports every recorded
+// allocation construct in any reachable function:
+//
+//   - calls into known-allocating stdlib (all of fmt, errors.New,
+//     strconv/strings/bytes formatting, sort.Slice, json),
+//   - make/new and slice/map/&T{} composite literals outside the
+//     reuse-or-grow idiom (`if cap(buf) < n { buf = make(...) }` is
+//     amortized to zero and exempt),
+//   - variable-capturing closures in escaping positions (a closure
+//     handed to a callee or goroutine forces its captures to the heap;
+//     a non-capturing or invoked-in-place literal is static),
+//   - non-pointer-shaped values boxed into interface arguments,
+//   - string<->[]byte conversions outside range clauses.
+//
+// Plain append is never reported: amortized growth against a reused
+// buffer is exactly the contract the runtime gates measure, and flagging
+// it would outlaw the append-style encoders the wire path is built on.
+//
+// //cfg:amortized marks a contract boundary the walk does not descend
+// into: pool refills, lazy one-time initialization, and keyed-stream
+// setup allocate on the cold path by design (newSharedPayload,
+// ensureKeyed) while their steady-state cost is zero. The boundary
+// function's own annotation is trusted; the AllocsPerRun gates keep it
+// honest at runtime.
+package allocfree
+
+import (
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "functions reachable from //cfg:allocfree roots must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	roots := pass.Facts.WithDirective("allocfree")
+	if len(roots) == 0 {
+		return nil
+	}
+	names := make([]string, len(roots))
+	for i, r := range roots {
+		names[i] = r.Name
+	}
+	stop := func(ff *analysis.FuncFact) bool { return ff.Directives["amortized"] }
+	reached := pass.Facts.Reach(names, stop)
+	for name, chain := range reached {
+		ff := pass.Facts.Funcs[name]
+		if ff == nil {
+			continue
+		}
+		// An amortized boundary reached from a root keeps its cold-path
+		// allocations; a function carrying both directives is its own
+		// root and is still checked.
+		if ff.Directives["amortized"] && !ff.Directives["allocfree"] {
+			continue
+		}
+		for _, site := range ff.Sites {
+			if !site.Kind.Alloc() || !pass.LocalPos(site.Pos) {
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"allocation on zero-alloc path %s (%s): %s; hoist it off the hot path, reuse a buffer, or mark the callee //cfg:amortized with a reason",
+				shortName(name), analysis.FormatChain(chain), site.What)
+		}
+	}
+	return nil
+}
+
+func shortName(full string) string { return analysis.ShortFuncName(full) }

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/allocfree"
+	"cloudfog/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocfree.Analyzer, "hotpath")
+}

@@ -47,8 +47,29 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the merged per-function fact index. In standalone runs
+	// (make lint) it spans every loaded package, so interprocedural
+	// analyzers see the whole call graph; in vet-tool and fixture runs it
+	// covers the current package only (the vet protocol hands us one
+	// compilation unit at a time — documented in DESIGN.md §16).
+	Facts *Facts
+
 	// Report records one diagnostic. Positions must be valid.
 	Report func(Diagnostic)
+}
+
+// LocalPos reports whether pos lies inside one of the pass's own files.
+// Interprocedural analyzers run once per package but walk a module-wide
+// call graph; restricting reports to local positions keeps each
+// diagnostic attributed to exactly one pass (and thus suppressible by a
+// comment in the file that owns it).
+func (p *Pass) LocalPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -117,8 +138,16 @@ func ImportedPkg(pkg *types.Package, path string) *types.Package {
 // non-empty for the suppression to take effect.
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(\S.*)$`)
 
-// suppressions maps file -> line -> set of analyzer names ignored there.
-type suppressions map[string]map[int]map[string]bool
+// ignoreEntry is one //lint:ignore directive, with usage tracking for the
+// unused-suppression audit.
+type ignoreEntry struct {
+	analyzer string
+	pos      token.Pos
+	used     bool
+}
+
+// suppressions maps file -> line -> directives on that line.
+type suppressions map[string]map[int][]*ignoreEntry
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 	sup := make(suppressions)
@@ -132,15 +161,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				pos := fset.Position(c.Pos())
 				lines := sup[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*ignoreEntry)
 					sup[pos.Filename] = lines
 				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
-				names[m[1]] = true
+				lines[pos.Line] = append(lines[pos.Line],
+					&ignoreEntry{analyzer: m[1], pos: c.Pos()})
 			}
 		}
 	}
@@ -152,27 +177,84 @@ func (s suppressions) covers(pos token.Position, analyzer string) bool {
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["cloudfoglint"]) {
-			return true
+		for _, e := range lines[line] {
+			if e.analyzer == analyzer || e.analyzer == "cloudfoglint" {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// auditUnused reports every directive that suppressed nothing during the
+// run, provided its named analyzer was actually in the run set — an
+// ignore for an analyzer that didn't run may be load-bearing in a fuller
+// run, so it is left alone. Directives in _test.go files are skipped (the
+// driver never reports there, so an ignore is inert by construction).
+func (s suppressions) auditUnused(fset *token.FileSet, ranNames map[string]bool, report func(Diagnostic)) {
+	for file, lines := range s {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		for _, entries := range lines {
+			for _, e := range entries {
+				if e.used || (!ranNames[e.analyzer] && e.analyzer != "cloudfoglint") {
+					continue
+				}
+				report(Diagnostic{
+					Pos:      e.pos,
+					Analyzer: "unusedignore",
+					Message: fmt.Sprintf(
+						"unused //lint:ignore %s: no %s diagnostic is suppressed here; delete the directive",
+						e.analyzer, e.analyzer),
+				})
+			}
+		}
+	}
+}
+
+// RunConfig tunes one RunAnalyzersWith invocation.
+type RunConfig struct {
+	// Facts is the fact index handed to analyzers. When nil, a
+	// package-local index is computed from the pass's own files.
+	Facts *Facts
+	// AuditIgnores enables the unused-suppression audit. Only meaningful
+	// when the full registry runs with module-wide facts — a partial run
+	// fires fewer diagnostics, so its unused-ignore signal is noise.
+	AuditIgnores bool
 }
 
 // RunAnalyzers applies every analyzer to one type-checked package and
 // returns the surviving diagnostics (suppressions applied, _test.go files
-// dropped), sorted by position.
+// dropped), sorted by position. Facts are computed package-locally; the
+// module-wide drivers use RunAnalyzersWith.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersWith(fset, files, pkg, info, analyzers, RunConfig{})
+}
+
+// RunAnalyzersWith is RunAnalyzers with an explicit fact index and audit
+// switch.
+func RunAnalyzersWith(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, cfg RunConfig) ([]Diagnostic, error) {
+	facts := cfg.Facts
+	if facts == nil {
+		facts = NewFacts()
+		ComputeFacts(fset, files, pkg, info, facts)
+	}
 	sup := collectSuppressions(fset, files)
 	var out []Diagnostic
+	ranNames := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ranNames[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -189,6 +271,9 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
 		}
+	}
+	if cfg.AuditIgnores {
+		sup.auditUnused(fset, ranNames, func(d Diagnostic) { out = append(out, d) })
 	}
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)

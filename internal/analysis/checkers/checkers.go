@@ -6,14 +6,18 @@ package checkers
 
 import (
 	"cloudfog/internal/analysis"
+	"cloudfog/internal/analysis/allocfree"
 	"cloudfog/internal/analysis/conndeadline"
 	"cloudfog/internal/analysis/deterministic"
+	"cloudfog/internal/analysis/epochstamp"
 	"cloudfog/internal/analysis/guardedby"
 	"cloudfog/internal/analysis/noretain"
+	"cloudfog/internal/analysis/phasepure"
 	"cloudfog/internal/analysis/pooledbuf"
 )
 
-// All returns every cloudfoglint analyzer in reporting order.
+// All returns every cloudfoglint analyzer in reporting order: the five
+// PR 4 syntactic checkers, then the three PR 10 fact-driven ones.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		pooledbuf.Analyzer,
@@ -21,5 +25,8 @@ func All() []*analysis.Analyzer {
 		guardedby.Analyzer,
 		deterministic.Analyzer,
 		noretain.Analyzer,
+		phasepure.Analyzer,
+		allocfree.Analyzer,
+		epochstamp.Analyzer,
 	}
 }

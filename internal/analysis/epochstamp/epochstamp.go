@@ -1,0 +1,188 @@
+// Package epochstamp enforces the epoch/tick/seq stamping discipline the
+// crash-recovery and datagram layers rest on (DESIGN.md §12).
+//
+// A *stamped type* is a struct declared in a package named "protocol" or
+// "transport" that carries at least one exported Epoch, Tick, or Seq
+// field. Two rules:
+//
+//  1. Stamp before send: a non-empty composite literal of a stamped type
+//     built outside its defining package must set every stamp field the
+//     type has. A half-stamped message (Epoch set, Tick defaulted) is
+//     exactly the bug class that made pre-PR 6 resumption replay stale
+//     frames. Unkeyed literals set every field and pass by construction;
+//     the defining package is exempt (its decoders construct-then-fill).
+//
+//  2. Check through the validator: ordered comparisons (<, >, <=, >=)
+//     on a stamp field implement a freshness/discard decision, and those
+//     decisions belong in the blessed validators — RecvTracker.Track for
+//     the datagram path, the §12 resume discard rule for reconnects —
+//     annotated //cfg:epochcheck. An ordered stamp comparison anywhere
+//     else is a raw field copy of the discard rule that will drift from
+//     the real one. Equality tests (same epoch? duplicate seq?) are not
+//     ordering decisions and stay legal everywhere.
+package epochstamp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochstamp",
+	Doc:  "protocol messages must be fully stamped at construction; ordered stamp comparisons belong in //cfg:epochcheck validators",
+	Run:  run,
+}
+
+// stampFieldNames are the wire-ordering fields the discipline covers.
+var stampFieldNames = map[string]bool{"Epoch": true, "Tick": true, "Seq": true}
+
+// stampPkgNames are the defining-package names (matching by name keeps
+// fixtures honest, mirroring the deterministic analyzer).
+var stampPkgNames = map[string]bool{"protocol": true, "transport": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var fn *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn = n
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, fn, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stampedType returns the named struct type and its stamp fields when t
+// is a stamped type, or nil.
+func stampedType(t types.Type) (*types.Named, []string) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if a, ok := t.(*types.Alias); ok {
+			return stampedType(types.Unalias(a))
+		}
+		return nil, nil
+	}
+	p := named.Obj().Pkg()
+	if p == nil || !stampPkgNames[p.Name()] {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	var stamps []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() && stampFieldNames[f.Name()] {
+			stamps = append(stamps, f.Name())
+		}
+	}
+	sort.Strings(stamps)
+	return named, stamps
+}
+
+// checkLiteral enforces rule 1 on one composite literal.
+func checkLiteral(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	named, stamps := stampedType(tv.Type)
+	if named == nil || len(stamps) == 0 {
+		return
+	}
+	if named.Obj().Pkg() == pass.Pkg {
+		return // defining package: decoders construct-then-fill
+	}
+	if len(cl.Elts) == 0 {
+		return // zero value, nothing half-stamped
+	}
+	set := make(map[string]bool)
+	for _, e := range cl.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			return // unkeyed literal: every field set
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	var missing []string
+	for _, s := range stamps {
+		if !set[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(cl.Pos(),
+		"%s literal leaves stamp field(s) %s unset: stamp every message before send, or the §12 discard rule misorders it",
+		typeName(named), strings.Join(missing, ", "))
+}
+
+// checkComparison enforces rule 2 on one binary expression.
+func checkComparison(pass *analysis.Pass, fn *ast.FuncDecl, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	field := stampSelector(pass, be.X)
+	if field == "" {
+		field = stampSelector(pass, be.Y)
+	}
+	if field == "" {
+		return
+	}
+	if fn != nil && analysis.Directives(fn.Doc)["epochcheck"] {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"ordered comparison on stamp field %s outside an //cfg:epochcheck validator: freshness decisions belong in RecvTracker.Track or the §12 resume discard rule",
+		field)
+}
+
+// stampSelector reports "Type.Field" when e selects a stamp field of a
+// stamped type, else "".
+func stampSelector(pass *analysis.Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || !stampFieldNames[sel.Sel.Name] {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	named, stamps := stampedType(deref(s.Recv()))
+	if named == nil {
+		return ""
+	}
+	for _, f := range stamps {
+		if f == sel.Sel.Name {
+			return typeName(named) + "." + f
+		}
+	}
+	return ""
+}
+
+func typeName(named *types.Named) string {
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

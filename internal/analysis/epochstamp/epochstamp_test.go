@@ -1,0 +1,12 @@
+package epochstamp_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/epochstamp"
+)
+
+func TestEpochStamp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochstamp.Analyzer, "sender")
+}

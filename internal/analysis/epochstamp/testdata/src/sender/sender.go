@@ -1,0 +1,62 @@
+// Package sender exercises the epochstamp rules against the real
+// cloudfog/internal/protocol and transport message types, the same way
+// production senders construct them.
+package sender
+
+import (
+	"cloudfog/internal/protocol"
+	"cloudfog/internal/transport"
+	"cloudfog/internal/virtualworld"
+)
+
+type conn struct {
+	epoch   uint64
+	tick    uint64
+	seq     uint64
+	lastHdr transport.Header
+}
+
+// fullStamp sets every stamp field: legal.
+func (c *conn) fullStamp(deltas []virtualworld.Delta) protocol.UpdateBatch {
+	return protocol.UpdateBatch{Epoch: c.epoch, Tick: c.tick, Deltas: deltas}
+}
+
+// halfStamp forgets Tick — the bug class rule 1 exists for.
+func (c *conn) halfStamp(deltas []virtualworld.Delta) protocol.UpdateBatch {
+	return protocol.UpdateBatch{Epoch: c.epoch, Deltas: deltas} // want `UpdateBatch literal leaves stamp field\(s\) Tick unset`
+}
+
+// headerStamp omits two of the three header stamps.
+func (c *conn) headerStamp() transport.Header {
+	return transport.Header{Kind: transport.DgramFrame, Epoch: c.epoch} // want `Header literal leaves stamp field\(s\) Seq, Tick unset`
+}
+
+// zeroThenFill builds the zero value and fills it: exempt (rule 1 only
+// covers non-empty literals; a zero literal is not half-stamped).
+func (c *conn) zeroThenFill() transport.Header {
+	var h transport.Header
+	h.Kind = transport.DgramFrame
+	h.Epoch, h.Seq, h.Tick = c.epoch, c.seq, c.tick
+	return h
+}
+
+// rawDiscard copies the §12 discard rule inline instead of routing it
+// through a blessed validator: rule 2.
+func (c *conn) rawDiscard(h transport.Header) bool {
+	if h.Epoch == c.epoch { // equality is not an ordering decision: legal
+		return false
+	}
+	return h.Tick > c.tick // want `ordered comparison on stamp field transport.Header.Tick outside an //cfg:epochcheck validator`
+}
+
+// validate is a blessed validator: the same comparison is the §12
+// discard rule's one true home.
+//
+//cfg:epochcheck
+func (c *conn) validate(h transport.Header) bool {
+	if h.Seq <= c.lastHdr.Seq && h.Epoch == c.lastHdr.Epoch {
+		return false
+	}
+	c.lastHdr = h
+	return true
+}

@@ -185,14 +185,33 @@ func (l *Loader) Check(path string, filenames []string) (*TypedPackage, error) {
 
 // Run loads the patterns and applies the analyzers to every matched
 // package, returning all surviving diagnostics sorted per package.
+//
+// Facts are computed over every matched package before any analyzer
+// runs, so interprocedural analyzers (phasepure, allocfree) see one call
+// graph spanning the whole load — the standalone `make lint` run is the
+// authoritative one. The unused-suppression audit is enabled only on
+// whole-module patterns ("./...", "cloudfog/..."): a package-list run
+// omits the roots whose reachability makes an ignore load-bearing, and
+// would call live directives dead.
 func (l *Loader) Run(analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := l.Load(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	facts := NewFacts()
+	for _, tp := range pkgs {
+		ComputeFacts(l.Fset, tp.Files, tp.Pkg, tp.Info, facts)
+	}
+	wholeModule := false
+	for _, p := range patterns {
+		if p == "./..." || p == "cloudfog/..." {
+			wholeModule = true
+		}
+	}
+	cfg := RunConfig{Facts: facts, AuditIgnores: wholeModule}
 	var out []Diagnostic
 	for _, tp := range pkgs {
-		diags, err := RunAnalyzers(l.Fset, tp.Files, tp.Pkg, tp.Info, analyzers)
+		diags, err := RunAnalyzersWith(l.Fset, tp.Files, tp.Pkg, tp.Info, analyzers, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,96 @@
+// Package phasepure enforces the two-phase determinism contract of the
+// parallel tick pipeline (DESIGN.md §15) interprocedurally.
+//
+// The compute phase runs one goroutine per worker over disjoint player
+// slots; its results must be bit-identical for any worker count. That
+// holds only if every function reachable from a compute root — a
+// function annotated //cfg:computephase — stays pure in the contract's
+// sense: it may write the slots it owns and draw from the per-shard rng
+// stream threaded in as a parameter, and nothing else. Concretely, the
+// analyzer walks the fact call graph from each root and reports, in any
+// reachable function:
+//
+//   - writes to package-level variables (shared state, racy and
+//     order-dependent),
+//   - mutex acquisitions (a lock in the compute phase means shared
+//     mutable state — and a worker-count-dependent wait order),
+//   - go statements, channel operations, and selects (scheduling order
+//     leaks into results),
+//   - wall-clock reads and global math/rand draws (the intra-package
+//     deterministic analyzer's rules, now applied transitively),
+//   - output assembled in map-iteration order,
+//   - rng draws through a receiver-rooted or package-level stream: only
+//     the per-shard stream passed as a parameter is consumption-order
+//     independent of the worker count.
+//
+// Functions annotated //cfg:applyphase (the single-goroutine apply side:
+// canonical-order mutators, metrics sinks) must not be reachable from a
+// compute root at all — reaching one is reported at the root's package.
+//
+// Interprocedural reach uses the module-wide fact index, so the
+// authoritative run is the standalone driver (make lint); the vet-tool
+// protocol hands the analyzer one package at a time and sees only
+// package-local edges.
+package phasepure
+
+import (
+	"cloudfog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "phasepure",
+	Doc:  "functions reachable from //cfg:computephase roots must not touch shared state, channels, clocks, or foreign rng streams",
+	Run:  run,
+}
+
+// impureSites are the fact site kinds that break compute-phase purity,
+// with the contract clause each violates.
+var impureSites = map[analysis.SiteKind]string{
+	analysis.SiteGlobalWrite: "the compute phase may write only its own player slots",
+	analysis.SiteLock:        "locking in the compute phase implies shared mutable state and a worker-count-dependent wait order",
+	analysis.SiteGo:          "the compute phase must not spawn goroutines; the worker pool is the only concurrency",
+	analysis.SiteChan:        "channel operations leak scheduling order into results",
+	analysis.SiteWallClock:   "wall-clock reads break seeded reproducibility",
+	analysis.SiteGlobalRand:  "the global math/rand source is shared across workers",
+	analysis.SiteMapOrdered:  "map-iteration order differs per run",
+	analysis.SiteForeignRNG:  "only the per-shard rng stream passed as a parameter is safe; shared streams make draw order depend on worker interleaving",
+}
+
+func run(pass *analysis.Pass) error {
+	roots := pass.Facts.WithDirective("computephase")
+	if len(roots) == 0 {
+		return nil
+	}
+	names := make([]string, len(roots))
+	for i, r := range roots {
+		names[i] = r.Name
+	}
+	stop := func(ff *analysis.FuncFact) bool { return ff.Directives["applyphase"] }
+	reached := pass.Facts.Reach(names, stop)
+	for name, chain := range reached {
+		ff := pass.Facts.Funcs[name]
+		if ff == nil {
+			continue
+		}
+		if ff.Directives["applyphase"] && len(chain) > 1 {
+			if pass.LocalPos(ff.Pos) {
+				pass.Reportf(ff.Pos,
+					"apply-phase function %s is reachable from the compute phase (%s): apply-side mutations must wait for the canonical-order apply loop",
+					shortName(name), analysis.FormatChain(chain))
+			}
+			continue
+		}
+		for _, site := range ff.Sites {
+			why, impure := impureSites[site.Kind]
+			if !impure || !pass.LocalPos(site.Pos) {
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"compute-phase impurity in %s (%s): %s; %s",
+				shortName(name), analysis.FormatChain(chain), site.What, why)
+		}
+	}
+	return nil
+}
+
+func shortName(full string) string { return analysis.ShortFuncName(full) }

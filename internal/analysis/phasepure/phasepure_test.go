@@ -1,0 +1,12 @@
+package phasepure_test
+
+import (
+	"testing"
+
+	"cloudfog/internal/analysis/analysistest"
+	"cloudfog/internal/analysis/phasepure"
+)
+
+func TestPhasePure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), phasepure.Analyzer, "compute")
+}

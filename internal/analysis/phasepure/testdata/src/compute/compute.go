@@ -1,0 +1,75 @@
+// Package compute is a miniature two-phase tick pipeline exercising the
+// phasepure contract: sharedWrite/lockedHelper/foreignDraw sit two and
+// three calls below the annotated root, so every positive here proves
+// the interprocedural walk, not a syntactic scan of the root itself.
+package compute
+
+import (
+	"sync"
+	"time"
+
+	"cloudfog/internal/rng"
+)
+
+// tickCount is shared mutable state no compute-phase function may touch.
+var tickCount int
+
+type world struct {
+	mu    sync.Mutex
+	slots []float64
+	r     *rng.Rand
+	tags  map[int]string
+}
+
+// evalOne is the compute root: called concurrently per player slot.
+//
+//cfg:computephase
+func evalOne(w *world, i int, r *rng.Rand) {
+	w.slots[i] = r.Float64() // per-slot write + per-shard stream: allowed
+	helper(w, i)
+	w.deeper(r)
+}
+
+// helper is one hop below the root.
+func helper(w *world, i int) {
+	sharedWrite()
+	w.mu.Lock() // want `compute-phase impurity.*Lock.*shared mutable state`
+	w.mu.Unlock()
+}
+
+// sharedWrite is two hops below the root.
+func sharedWrite() {
+	tickCount++ // want `compute-phase impurity.*write to package variable tickCount`
+}
+
+// deeper exercises the clock, foreign-stream, and map-order rules. It is
+// a method so the w.r draw roots at the receiver, like System.rng in the
+// real pipeline.
+func (w *world) deeper(r *rng.Rand) {
+	_ = time.Now()      // want `compute-phase impurity.*wall-clock`
+	_ = w.r.Float64()   // want `compute-phase impurity.*rng draw.*shared streams`
+	_ = r.NormFloat64() // parameter stream: allowed
+	var out []string
+	for _, tag := range w.tags {
+		out = append(out, tag) // want `compute-phase impurity.*map-iteration order`
+	}
+	_ = out
+	applyOne(w) // reaching the apply phase at all is the violation
+}
+
+// applyOne is the apply side: single goroutine, canonical order. It may
+// do what the compute phase may not — but it must not be reachable from
+// a compute root.
+//
+//cfg:applyphase
+func applyOne(w *world) { // want `apply-phase function compute.applyOne is reachable from the compute phase`
+	tickCount++ // not reported: inside the apply phase by annotation
+}
+
+// orchestrate is NOT reachable from the root; nothing here is reported.
+func orchestrate(w *world) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	tickCount = 0
+}

@@ -652,6 +652,9 @@ func (s *System) applyFixedPool(cycle int, measured bool) {
 // concurrently without changing any seeded output. Shared-state effects
 // (metric accumulation, co-play recording, egress sums) are described in
 // out and applied later by applyEval in canonical player order.
+//
+//cfg:computephase
+//cfg:allocfree
 func (s *System) computeEval(i int, clock sim.Clock, measured bool, r *rng.Rand, sc *evalScratch, out *evalResult) {
 	_ = r // reserved: eval-phase randomness is currently all hash-keyed
 	ps := s.ps
@@ -714,6 +717,9 @@ func (s *System) computeEval(i int, clock sim.Clock, measured bool, r *rng.Rand,
 // ascending player index — the canonical schedule — so the sequence of
 // floating-point Adds is identical whether the compute phase ran on one
 // goroutine or many.
+//
+//cfg:applyphase
+//cfg:allocfree
 func (s *System) applyEval(i int, clock sim.Clock, measured bool, res *evalResult) {
 	if res.coplayRecord {
 		s.coplay.Record(i, int(res.coplayPartner), clock.Cycle)

@@ -261,6 +261,9 @@ type sharedPayload struct {
 var sharedPayloadPool = sync.Pool{New: func() any { return &sharedPayload{} }}
 
 // newSharedPayload takes a pooled buffer and arms it for refs readers.
+// Pool refills amortize to zero in steady state.
+//
+//cfg:amortized
 func newSharedPayload(refs int) *sharedPayload {
 	sp := sharedPayloadPool.Get().(*sharedPayload)
 	sp.buf = protocol.GetBuffer()
@@ -779,6 +782,8 @@ func (s *CloudServer) tickOnce() {
 // ID allocator, player sessions, address→reputation-ID table, QoE book,
 // and ladder RNG — into the reused checkpoint scratch and encodes it
 // into a fresh shared payload armed for refs readers. Caller holds mu.
+//
+//cfg:allocfree
 func (s *CloudServer) encodeCheckpointLocked(refs int) *sharedPayload {
 	st := &s.ckpt
 	st.Epoch = s.epoch
@@ -811,6 +816,8 @@ func (s *CloudServer) encodeCheckpointLocked(refs int) *sharedPayload {
 // enqueue offers a message to the supernode's bounded send queue without
 // ever blocking; full queues drop (and count) the message, releasing its
 // shared-payload reference.
+//
+//cfg:allocfree
 func (s *CloudServer) enqueue(sn *supernodeConn, m outMsg) bool {
 	select {
 	case sn.sendQ <- m:
@@ -1214,6 +1221,8 @@ func (s *CloudServer) serveResume(conn net.Conn, payload []byte) {
 // Discard is set when the supernode's replica ran ahead of the restored
 // history (ticks the crashed primary computed but never checkpointed or
 // logged) — those ticks are authoritatively gone.
+//
+//cfg:epochcheck
 func (s *CloudServer) resumeSupernode(conn net.Conn, req protocol.Resume) {
 	s.mu.Lock()
 	sn := &supernodeConn{
@@ -1471,6 +1480,8 @@ func (s *CloudServer) servePlayer(conn net.Conn, payload []byte) {
 // or listed in the checkpoint's session table); the avatar keeps its
 // exact position, HP, and state — no respawn. Unknown sessions are
 // refused and fall back to a full rejoin.
+//
+//cfg:epochcheck
 func (s *CloudServer) resumePlayer(conn net.Conn, req protocol.Resume) {
 	pc := &playerConn{conn: conn}
 	var (
@@ -1500,6 +1511,7 @@ func (s *CloudServer) resumePlayer(conn net.Conn, req protocol.Resume) {
 	}
 	s.mu.Unlock()
 	if !known {
+		//lint:ignore epochstamp refusal reply: OK=false carries no orderable state, the client falls back to a full rejoin
 		refuse := protocol.ResumeReply{Reason: "unknown session"}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		protocol.WriteMessage(conn, protocol.MsgResumeReply, refuse.Marshal())

@@ -187,6 +187,8 @@ func (s *dgramSession) remote() (netip.AddrPort, bool) {
 // means the caller must fall back to the TCP write for this frame. buf
 // is the session's pooled scratch: with enough capacity the whole path
 // is allocation-free.
+//
+//cfg:allocfree
 func (s *dgramSession) sendFrame(buf []byte, ef *videocodec.EncodedFrame, tick uint64) ([]byte, bool) {
 	addr, ok := s.remote()
 	if !ok {
@@ -223,6 +225,7 @@ func (s *dgramSession) sendFrame(buf []byte, ef *videocodec.EncodedFrame, tick u
 // the cloud currently followed.
 func (f *FogNode) offerDatagram() (protocol.DatagramReply, *dgramSession) {
 	if f.dgram == nil {
+		//lint:ignore epochstamp refusal reply: OK=false carries no orderable state, the player stays on the TCP stream
 		return protocol.DatagramReply{Reason: "datagram video disabled"}, nil
 	}
 	return f.dgram.newSession(f.currentEpoch())

@@ -447,9 +447,10 @@ func (f *FogNode) updateLoop() {
 					continue
 				}
 				f.mu.Lock()
+				// The authority failed over while this conn survived; its
+				// stamp is the fastest notification there is.
+				//lint:ignore epochstamp epoch adoption, not a discard decision: the fog follows the highest epoch it has seen
 				if batch.Epoch > f.epoch {
-					// The authority failed over while this conn survived;
-					// its stamp is the fastest notification there is.
 					f.epoch = batch.Epoch
 				}
 				f.replica.Apply(batch.Tick, batch.Deltas)
@@ -460,6 +461,7 @@ func (f *FogNode) updateLoop() {
 					continue
 				}
 				f.mu.Lock()
+				//lint:ignore epochstamp epoch adoption, not a discard decision: the fog follows the highest epoch it has seen
 				if cellBatch.Epoch > f.epoch {
 					f.epoch = cellBatch.Epoch
 				}

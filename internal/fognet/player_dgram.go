@@ -110,6 +110,7 @@ func (p *PlayerClient) runDatagramVideo(conn net.Conn, rep protocol.DatagramRepl
 		}
 	}
 
+	//lint:ignore epochstamp hello carries identity only; Seq/Tick are per-frame stamps the session assigns after upgrade
 	hello := transport.Header{Kind: transport.DgramHello, Token: rep.Token, Epoch: rep.Epoch}
 	helloBuf := hello.AppendTo(make([]byte, 0, transport.HeaderLen))
 	attemptInterval := p.cfg.VideoReadTimeout / 4

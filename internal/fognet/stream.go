@@ -148,6 +148,7 @@ func runVideoSession(
 				encoder = videocodec.NewEncoder(game.MustQuality(level).BitrateKbps)
 			}
 		case <-dgramCh:
+			//lint:ignore epochstamp refusal default: overwritten by the stamped offer when the datagram path is up
 			reply := protocol.DatagramReply{Reason: "datagram video unavailable"}
 			if offer != nil && sess == nil {
 				reply, sess = offer.offerDatagram()

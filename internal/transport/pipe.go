@@ -54,9 +54,9 @@ type pipeEnd struct {
 	local netip.AddrPort
 
 	mu     sync.Mutex
-	rdl    time.Time
-	closed chan struct{} // lazily created close signal
-	done   bool
+	rdl    time.Time     // guarded by mu
+	closed chan struct{} // lazily created close signal; guarded by mu
+	done   bool          // guarded by mu
 }
 
 func (p *pipeEnd) closedCh() chan struct{} {
@@ -148,8 +148,8 @@ func (p *pipeEnd) SetWriteDeadline(t time.Time) error { return nil }
 // Close marks the end closed and wakes blocked readers.
 func (p *pipeEnd) Close() error {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.done {
-		p.mu.Unlock()
 		return nil
 	}
 	p.done = true
@@ -157,7 +157,6 @@ func (p *pipeEnd) Close() error {
 		p.closed = make(chan struct{})
 	}
 	close(p.closed)
-	p.mu.Unlock()
 	return nil
 }
 
